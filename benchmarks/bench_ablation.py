@@ -1,0 +1,126 @@
+"""Ablation benches for Algorithm 1's design choices (DESIGN.md Sec. 5).
+
+Algorithm 1 has two admission ingredients: the zeta/2-separation test and
+the affectance budget (1/2).  The ablations quantify what each buys:
+
+* dropping the separation test degenerates to the general-metric greedy —
+  still feasible, but the structural guarantee (Theorem 5's polynomial
+  ratio via Theorem 4) is lost;
+* the admission threshold trades candidate size against the final filter's
+  survival rate.
+
+Also ablates the extension modules: weighted capacity greedy vs exact, and
+LQF vs random backoff at matched load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once, planar_link_instance
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.capacity_general import capacity_general_metric
+from repro.algorithms.capacity_weighted import (
+    weighted_capacity_greedy,
+    weighted_capacity_optimum,
+)
+from repro.algorithms.scheduling import schedule_first_fit
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.distributed.stability import (
+    lqf_policy,
+    random_policy,
+    run_queue_simulation,
+)
+
+
+def test_ablation_separation_check(benchmark):
+    """Algorithm 1 with vs without the zeta/2-separation test."""
+
+    def run():
+        out = {}
+        for seed in range(5):
+            links = planar_link_instance(40, alpha=3.0, seed=seed)
+            with_sep = capacity_bounded_growth(links)
+            without = capacity_general_metric(links)
+            powers = uniform_power(links)
+            out[seed] = (
+                with_sep.size,
+                len(without.selected),
+                is_feasible(links, list(with_sep.selected), powers),
+                is_feasible(links, list(without.selected), powers),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(ok1 and ok2 for _, _, ok1, ok2 in results.values())
+    benchmark.extra_info["with/without separation sizes"] = {
+        str(seed): f"{a} vs {b}" for seed, (a, b, _, _) in results.items()
+    }
+
+
+def test_ablation_admission_threshold(benchmark):
+    """Candidate and survivor counts across admission thresholds."""
+
+    def run():
+        links = planar_link_instance(60, alpha=3.0, seed=9)
+        rows = {}
+        for threshold in (0.25, 0.5, 0.75, 1.0):
+            res = capacity_general_metric(
+                links, admission_threshold=threshold
+            )
+            rows[threshold] = (len(res.candidate), len(res.selected))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["threshold -> (candidates, selected)"] = {
+        str(t): v for t, v in rows.items()
+    }
+    # Candidates grow with the threshold.
+    cands = [rows[t][0] for t in sorted(rows)]
+    assert cands == sorted(cands)
+
+
+def test_ablation_weighted_greedy_vs_exact(benchmark):
+    """Achieved weight fraction of the weighted greedy."""
+
+    def run():
+        fractions = []
+        for seed in range(4):
+            links = planar_link_instance(12, alpha=3.0, seed=seed + 40)
+            rng = np.random.default_rng(seed)
+            weights = rng.uniform(0.1, 5.0, size=12)
+            greedy = weighted_capacity_greedy(links, weights)
+            achieved = float(weights[list(greedy.selected)].sum())
+            _, opt = weighted_capacity_optimum(links, weights)
+            fractions.append(achieved / opt if opt else 1.0)
+        return fractions
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["weight fractions"] = [round(f, 3) for f in fractions]
+    assert all(f > 0.2 for f in fractions)
+
+
+def test_ablation_scheduling_policy(benchmark):
+    """LQF vs random backoff at the same sub-capacity load."""
+
+    def run():
+        links = planar_link_instance(12, alpha=3.0, seed=5)
+        rate = 0.8 / schedule_first_fit(links).length
+        lqf = run_queue_simulation(
+            links, rate, 3000, policy=lqf_policy, seed=6
+        )
+        rnd = run_queue_simulation(
+            links, rate, 3000, policy=random_policy, seed=6
+        )
+        return lqf, rnd
+
+    lqf, rnd = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["LQF mean queue"] = round(
+        float(lqf.final_queues.mean()), 2
+    )
+    benchmark.extra_info["random mean queue"] = round(
+        float(rnd.final_queues.mean()), 2
+    )
+    assert lqf.final_queues.mean() <= rnd.final_queues.mean()

@@ -1,0 +1,70 @@
+"""Benchmarks and reproduction for E9: capacity algorithms.
+
+Kernels: Algorithm 1 and the general greedy at m = 120 links, exact OPT at
+m = 18.  Experiment targets regenerate the alpha sweep (E9a) and the
+realistic-environment comparison (E9b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once, planar_link_instance
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.capacity_general import capacity_general_metric
+from repro.algorithms.capacity_opt import capacity_optimum
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.experiments.exp_capacity import (
+    alpha_sweep_table,
+    environment_capacity_table,
+)
+
+
+@pytest.fixture(scope="module")
+def large_links():
+    return planar_link_instance(120, alpha=3.0, seed=11)
+
+
+def test_kernel_algorithm1(benchmark, large_links):
+    result = benchmark(capacity_bounded_growth, large_links)
+    assert is_feasible(
+        large_links, list(result.selected), uniform_power(large_links)
+    )
+    benchmark.extra_info["selected"] = result.size
+
+
+def test_kernel_general_greedy(benchmark, large_links):
+    result = benchmark(capacity_general_metric, large_links)
+    assert is_feasible(
+        large_links, list(result.selected), uniform_power(large_links)
+    )
+
+
+def test_kernel_exact_optimum(benchmark):
+    links = planar_link_instance(18, alpha=3.0, seed=12)
+    subset, size = benchmark(
+        capacity_optimum, links, uniform_power(links), limit=18
+    )
+    assert size >= 1
+    benchmark.extra_info["OPT"] = size
+
+
+def test_e9a_alpha_sweep(benchmark):
+    table = once(benchmark, alpha_sweep_table)
+    ratios = table.column("ratio alg1")
+    benchmark.extra_info["ratios by alpha"] = {
+        str(a): round(r, 3)
+        for a, r in zip(table.column("alpha"), ratios)
+    }
+    # Thm 5 shape: modest, slowly-growing ratios across the alpha range.
+    assert all(1.0 <= r <= 12.0 for r in ratios)
+
+
+def test_e9b_environment_capacity(benchmark):
+    table = once(benchmark, environment_capacity_table)
+    assert all(table.column("feasible"))
+    benchmark.extra_info["ratio by environment"] = {
+        str(e): round(r, 3)
+        for e, r in zip(table.column("environment"), table.column("ratio"))
+    }

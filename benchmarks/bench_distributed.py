@@ -1,0 +1,73 @@
+"""Benchmarks and reproduction for E12/E13: distributed algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once, planar_link_instance
+from repro.core.decay import DecaySpace
+from repro.distributed.local_broadcast import run_local_broadcast
+from repro.distributed.radio import reception_matrix
+from repro.distributed.regret_capacity import run_regret_capacity
+from repro.experiments.exp_distributed import (
+    local_broadcast_table,
+    regret_capacity_table,
+)
+from repro.geometry.points import grid_points
+
+
+@pytest.fixture(scope="module")
+def grid_space() -> DecaySpace:
+    return DecaySpace.from_points(grid_points(8, spacing=2.0), 3.0)
+
+
+def test_kernel_radio_slot(benchmark, grid_space):
+    tx = list(range(0, grid_space.n, 3))
+    ok = benchmark(reception_matrix, grid_space, tx)
+    assert ok.shape == (len(tx), grid_space.n)
+
+
+def test_kernel_local_broadcast(benchmark, grid_space):
+    result = benchmark.pedantic(
+        run_local_broadcast,
+        args=(grid_space, 4.5**3),
+        kwargs=dict(aggressiveness=0.5, max_slots=20000, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completed
+    benchmark.extra_info["slots"] = result.slots
+
+
+def test_kernel_regret_capacity(benchmark):
+    links = planar_link_instance(40, alpha=3.0, seed=31)
+    result = benchmark.pedantic(
+        run_regret_capacity,
+        args=(links,),
+        kwargs=dict(rounds=800, seed=8),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.best_size >= 1
+    benchmark.extra_info["best feasible"] = result.best_size
+
+
+def test_e12_local_broadcast(benchmark):
+    table = once(benchmark, local_broadcast_table)
+    assert all(table.column("completed"))
+    benchmark.extra_info["space -> gamma, slots"] = {
+        str(name): f"gamma={g:.2f}, slots={s:.0f}"
+        for name, g, s in zip(
+            table.column("space"),
+            table.column("gamma(r)"),
+            table.column("slots (mean)"),
+        )
+    }
+
+
+def test_e13_regret_capacity(benchmark):
+    table = once(benchmark, regret_capacity_table)
+    fractions = table.column("best/OPT")
+    benchmark.extra_info["best/OPT"] = [round(float(f), 3) for f in fractions]
+    assert all(f >= 0.5 for f in fractions)

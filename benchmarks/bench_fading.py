@@ -1,0 +1,62 @@
+"""Benchmarks and reproduction for E3/E4: the fading parameter.
+
+Kernels: exact fading value (max-weight clique) at n = 18 and the greedy
+bound at n = 120.  Experiment targets regenerate the Theorem-2 comparison
+and the star-space table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.decay import DecaySpace
+from repro.experiments.exp_fading import fading_bound_table, star_space_table
+from repro.spaces.fading import fading_parameter, fading_value
+
+
+@pytest.fixture(scope="module")
+def grid_space() -> DecaySpace:
+    from repro.geometry.points import grid_points
+
+    return DecaySpace.from_points(grid_points(10, spacing=2.0), 3.0)
+
+
+def test_kernel_fading_value_exact(benchmark):
+    from repro.geometry.points import grid_points
+
+    space = DecaySpace.from_points(grid_points(4, spacing=2.0), 3.0)
+    gamma = benchmark(fading_value, space, 0, 8.0, True)
+    assert gamma > 0
+
+
+def test_kernel_fading_parameter_greedy(benchmark, grid_space):
+    gamma = benchmark(fading_parameter, grid_space, 8.0, False, 200)
+    assert gamma > 0
+    benchmark.extra_info["gamma(8)"] = round(gamma, 3)
+
+
+def test_e3_theorem2_bound(benchmark):
+    table = once(benchmark, fading_bound_table)
+    rows = {
+        name: (gamma, bound, ok)
+        for name, gamma, bound, ok in zip(
+            table.column("space"),
+            table.column("gamma(r)"),
+            table.column("Thm2 bound"),
+            table.column("within bound"),
+        )
+    }
+    benchmark.extra_info["rows"] = {
+        k: f"gamma={v[0]:.2f} bound={v[1] if isinstance(v[1], str) else round(v[1], 2)}"
+        for k, v in rows.items()
+    }
+    assert all(ok in (True, "n/a") for _, _, ok in rows.values())
+
+
+def test_e4_star_space(benchmark):
+    table = once(benchmark, star_space_table)
+    products = np.asarray(table.column("interference * k"), dtype=float)
+    benchmark.extra_info["interference*k"] = [round(p, 3) for p in products]
+    assert np.all((products > 0.8) & (products <= 1.05))

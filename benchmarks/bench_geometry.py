@@ -1,0 +1,60 @@
+"""Kernel benchmarks for the environment substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.environment import office_floorplan
+from repro.geometry.points import uniform_points
+from repro.geometry.raytrace import multipath_decay_matrix
+from repro.geometry.sampler import MeasurementModel, build_environment_space
+from repro.geometry.shadowing import shadowing_db_matrix
+
+
+@pytest.fixture(scope="module")
+def env():
+    return office_floorplan(4, 3, room_size=5.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(100, extent=18.0, seed=2)
+
+
+def test_kernel_wall_decay_matrix(benchmark, env, points):
+    f = benchmark(env.decay_matrix, points)
+    assert f.shape == (100, 100)
+
+
+def test_kernel_multipath(benchmark, env):
+    pts = uniform_points(30, extent=18.0, seed=3)
+    f = benchmark.pedantic(
+        multipath_decay_matrix,
+        args=(pts, env, 0.4),
+        rounds=1,
+        iterations=1,
+    )
+    assert f.shape == (30, 30)
+
+
+def test_kernel_shadowing(benchmark, points):
+    m = benchmark(shadowing_db_matrix, points, 6.0, 4.0, 1.0, 4)
+    assert m.shape == (100, 100)
+
+
+def test_kernel_full_pipeline(benchmark, env, points):
+    space = benchmark.pedantic(
+        build_environment_space,
+        args=(points, env),
+        kwargs=dict(
+            shadowing_sigma_db=6.0,
+            shadowing_correlation=4.0,
+            measurement=MeasurementModel(),
+            seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert space.n == 100
+    benchmark.extra_info["symmetric"] = space.is_symmetric()

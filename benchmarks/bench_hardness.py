@@ -1,0 +1,55 @@
+"""Benchmarks and reproduction for E5/E11: the hardness constructions."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.exp_hardness import theorem3_table, theorem6_table
+from repro.hardness.equidecay import equidecay_instance
+from repro.hardness.reductions import capacity_equals_mis
+from repro.hardness.twolines import twoline_instance
+
+
+def test_kernel_equidecay_build(benchmark):
+    g = nx.gnp_random_graph(60, 0.3, seed=1)
+    inst = benchmark(equidecay_instance, g)
+    assert inst.space.n == 120
+
+
+def test_kernel_twoline_build(benchmark):
+    g = nx.gnp_random_graph(60, 0.3, seed=2)
+    inst = benchmark(twoline_instance, g)
+    assert inst.space.n == 120
+
+
+def test_kernel_capacity_equals_mis(benchmark):
+    g = nx.gnp_random_graph(14, 0.4, seed=3)
+    inst = equidecay_instance(g)
+    cap, mis = benchmark(
+        capacity_equals_mis, inst.links, inst.graph, limit=14
+    )
+    assert cap == mis
+
+
+def test_e5_theorem3(benchmark):
+    table = once(benchmark, theorem3_table)
+    assert all(table.column("feas<->indep"))
+    assert all(table.column("power-ctrl edges blocked"))
+    for cap, mis in zip(table.column("CAPACITY"), table.column("MIS")):
+        assert cap == mis
+    benchmark.extra_info["zeta range"] = (
+        f"{min(table.column('zeta')):.2f}..{max(table.column('zeta')):.2f}"
+    )
+
+
+def test_e11_theorem6(benchmark):
+    table = once(benchmark, theorem6_table)
+    assert all(table.column("feas<->indep"))
+    assert all(table.column("power-ctrl edges blocked"))
+    assert all(d <= 3 for d in table.column("indep dim"))
+    assert all(a <= 2.0 for a in table.column("Assouad dim (fit)"))
+    benchmark.extra_info["varphi/n"] = [
+        round(float(v), 3) for v in table.column("varphi / n")
+    ]

@@ -1,0 +1,73 @@
+"""Benchmarks and reproduction for E1/E10: metricity computations.
+
+Kernels: the vectorized triple predicate and the bisection at n = 60,
+plus varphi.  Experiment targets regenerate the E1 and E10 tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.decay import DecaySpace
+from repro.core.metricity import metricity, satisfies_metricity, varphi
+from repro.experiments.exp_metricity import (
+    environment_metricity_table,
+    geometric_metricity_table,
+    three_point_growth_table,
+    zeta_phi_relation_table,
+)
+
+
+@pytest.fixture(scope="module")
+def big_space() -> DecaySpace:
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 20, size=(60, 2))
+    return DecaySpace.from_points(pts, 3.0)
+
+
+def test_kernel_predicate(benchmark, big_space):
+    result = benchmark(satisfies_metricity, big_space, 3.0)
+    assert result
+
+
+def test_kernel_metricity_bisection(benchmark, big_space):
+    z = benchmark(metricity, big_space)
+    assert z == pytest.approx(3.0, abs=5e-3)
+
+
+def test_kernel_varphi(benchmark, big_space):
+    v = benchmark(varphi, big_space)
+    assert v <= 4.0 + 1e-9
+
+
+def test_e1a_geometric_metricity(benchmark):
+    table = once(benchmark, geometric_metricity_table)
+    worst = max(table.column("|zeta - alpha|"))
+    benchmark.extra_info["max |zeta - alpha|"] = worst
+    assert worst < 5e-3
+
+
+def test_e1b_environment_metricity(benchmark):
+    table = once(benchmark, environment_metricity_table)
+    zetas = dict(zip(table.column("environment"), table.column("zeta")))
+    benchmark.extra_info["zeta(free)"] = zetas["free space"]
+    benchmark.extra_info["zeta(walls)"] = zetas["office walls"]
+    assert zetas["office walls"] > zetas["free space"]
+
+
+def test_e10a_phi_vs_zeta(benchmark):
+    table = once(benchmark, zeta_phi_relation_table)
+    assert all(table.column("phi <= zeta"))
+    benchmark.extra_info["rows"] = len(table.rows)
+
+
+def test_e10b_three_point_growth(benchmark):
+    table = once(benchmark, three_point_growth_table)
+    ratios = table.column("zeta / predictor")
+    benchmark.extra_info["zeta/predictor range"] = (
+        f"{min(ratios):.3f}..{max(ratios):.3f}"
+    )
+    assert all(0.7 <= r <= 1.7 for r in ratios)
+    assert all(v < 2.0 for v in table.column("varphi"))

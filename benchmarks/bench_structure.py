@@ -1,0 +1,75 @@
+"""Benchmarks and reproduction for E6/E7/E8: structural lemmas.
+
+Kernels: signal strengthening and the Lemma B.3 partition at m = 60.
+Experiment targets regenerate the strengthening, separation and
+amicability tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once, planar_link_instance
+from repro.algorithms.partition import partition_eta_separated
+from repro.core.feasibility import signal_strengthening
+from repro.core.power import uniform_power
+from repro.experiments.exp_structure import (
+    amicability_table,
+    separation_table,
+    signal_strengthening_table,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_links():
+    return planar_link_instance(60, alpha=3.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def feasible_subset(medium_links):
+    from repro.algorithms.capacity import capacity_bounded_growth
+
+    return list(capacity_bounded_growth(medium_links).selected)
+
+
+def test_kernel_signal_strengthening(benchmark, medium_links, feasible_subset):
+    powers = uniform_power(medium_links)
+    classes = benchmark(
+        signal_strengthening, medium_links, feasible_subset, powers, 1.0, 4.0
+    )
+    assert sum(len(c) for c in classes) == len(feasible_subset)
+
+
+def test_kernel_eta_partition(benchmark, medium_links):
+    classes = benchmark(
+        partition_eta_separated, medium_links, list(range(60)), 3.0
+    )
+    assert sum(len(c) for c in classes) == 60
+
+
+def test_e6_signal_strengthening(benchmark):
+    table = once(benchmark, signal_strengthening_table)
+    assert all(table.column("all q-feasible"))
+    benchmark.extra_info["max classes"] = max(table.column("classes"))
+    benchmark.extra_info["min bound"] = min(table.column("bound"))
+
+
+def test_e7_separation(benchmark):
+    table = once(benchmark, separation_table)
+    assert all(table.column("B.2 holds"))
+    assert all(table.column("all zeta-separated"))
+    benchmark.extra_info["lemma 4.1 classes"] = list(
+        table.column("4.1 classes")
+    )
+
+
+def test_e8_amicability(benchmark):
+    table = once(benchmark, amicability_table)
+    assert all(table.column("within"))
+    benchmark.extra_info["size ratios"] = [
+        round(float(r), 3) for r in table.column("ratio")
+    ]
+    benchmark.extra_info["max out-affectance"] = round(
+        float(np.max(table.column("max a_v(S')"))), 3
+    )

@@ -1,0 +1,22 @@
+"""Benchmarks and reproduction for E2: theory transfer (Prop. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.exp_theory_transfer import theory_transfer_table
+
+
+def test_e2_theory_transfer(benchmark):
+    table = once(benchmark, theory_transfer_table)
+    assert all(table.column("triangle ok"))
+    assert all(table.column("greedy feasible (uniform)"))
+    assert all(table.column("greedy feasible (mean power)"))
+    benchmark.extra_info["zeta by space"] = {
+        str(name): round(float(z), 3)
+        for name, z in zip(table.column("space"), table.column("zeta"))
+    }
+    benchmark.extra_info["schedule slots"] = list(
+        table.column("schedule slots")
+    )

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment table (E1-E13, see EXPERIMENTS.md) has a bench target
+that regenerates it; `benchmark.extra_info` carries the headline numbers so
+``pytest benchmarks/ --benchmark-only`` doubles as a reproduction run.
+Kernel benches additionally time the library's hot paths at realistic
+sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+
+
+def planar_link_instance(n_links: int, alpha: float, seed: int) -> LinkSet:
+    """Deterministic planar link set used across bench modules."""
+    rng = np.random.default_rng(seed)
+    senders = rng.uniform(0, 4.0 * np.sqrt(n_links), size=(n_links, 2))
+    angle = rng.uniform(0, 2 * np.pi, size=n_links)
+    radius = rng.uniform(0.4, 1.2, size=n_links)
+    receivers = senders + np.stack(
+        [radius * np.cos(angle), radius * np.sin(angle)], axis=1
+    )
+    pts = np.concatenate([senders, receivers])
+    space = DecaySpace.from_points(pts, alpha)
+    return LinkSet(space, [(i, n_links + i) for i in range(n_links)])
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment-scale function exactly once under the timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

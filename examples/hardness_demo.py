@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The hardness constructions of Theorems 3 and 6, end to end.
+
+Embeds a graph into link sets whose feasible subsets are exactly its
+independent sets — first in a general decay space (Theorem 3, metricity
+~lg n), then in a planar bounded-growth space (Theorem 6, bounded varphi).
+Demonstrates that CAPACITY inherits MIS's inapproximability, and that
+bounded growth does not help when decays differ among close-by points.
+
+Run:  python examples/hardness_demo.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro import capacity_bounded_growth, equidecay_instance, twoline_instance
+from repro.core import is_feasible, metricity, uniform_power, varphi
+from repro.hardness import (
+    capacity_equals_mis,
+    edge_pairs_power_infeasible,
+    verify_feasible_iff_independent,
+)
+from repro.spaces import independence_dimension
+
+SEED = 99
+
+
+def main() -> None:
+    g = nx.petersen_graph()  # 10 nodes, independence number 4
+    print(f"source graph: Petersen ({g.number_of_nodes()} nodes, "
+          f"{g.number_of_edges()} edges)")
+
+    # ---- Theorem 3: general decay space -----------------------------
+    inst3 = equidecay_instance(g)
+    cap, mis = capacity_equals_mis(inst3.links, inst3.graph)
+    print("\n[Theorem 3] equi-decay construction")
+    print(f"  CAPACITY = {cap}, MIS = {mis}  (must match)")
+    print(f"  exhaustive feasible<->independent: "
+          f"{verify_feasible_iff_independent(inst3.links, inst3.graph)}")
+    print(f"  edges blocked under any power: "
+          f"{edge_pairs_power_infeasible(inst3.links, inst3.graph)}")
+    z = metricity(inst3.space)
+    print(f"  zeta = {z:.3f}  in [lg n, lg 2n] = "
+          f"[{np.log2(inst3.n):.3f}, {np.log2(2 * inst3.n):.3f}]")
+
+    # ---- Theorem 6: bounded-growth two-line space -------------------
+    inst6 = twoline_instance(g, alpha=2.0)
+    cap6, mis6 = capacity_equals_mis(inst6.links, inst6.graph)
+    print("\n[Theorem 6] two-line construction (bounded growth)")
+    print(f"  CAPACITY = {cap6}, MIS = {mis6}  (must match)")
+    print(f"  varphi = {varphi(inst6.space):.2f} = O(n), "
+          f"independence dimension = "
+          f"{independence_dimension(inst6.space)} (<= 3 claimed)")
+
+    # ---- What a polynomial-time algorithm achieves ------------------
+    result = capacity_bounded_growth(inst6.links)
+    powers = uniform_power(inst6.links)
+    print("\nAlgorithm 1 on the Theorem-6 instance:")
+    print(f"  found {result.size} links (OPT = {cap6}); feasible = "
+          f"{is_feasible(inst6.links, list(result.selected), powers)}")
+    print(
+        "\nNo polynomial algorithm can close this gap in general: the"
+        "\nconstruction transfers MIS's n^(1-o(1)) inapproximability to"
+        "\nCAPACITY as 2^(phi(1-o(1))) — even in bounded-growth spaces."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Sensor-network local broadcast over a warehouse decay space.
+
+A 5x5 sensor grid in a warehouse with metal shelving (high-loss walls)
+runs the randomized local-broadcast protocol of Sec. 3.3: every sensor
+must deliver one reading to all neighbors within its decay radius.  We
+compare round complexity on the free-space space vs the warehouse space,
+and relate the slowdown to the measured fading parameter gamma — the
+quantity the paper introduces to extend annulus-argument analyses to
+arbitrary decay spaces.
+
+Run:  python examples/sensor_broadcast.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DecaySpace, build_environment_space
+from repro.distributed import run_local_broadcast
+from repro.geometry import Environment, Wall, grid_points
+from repro.spaces import fading_parameter
+
+SEED = 7
+RADIUS_DIST = 4.5  # neighborhood radius in metres
+ALPHA = 3.0
+
+
+def warehouse() -> Environment:
+    env = Environment(alpha=ALPHA)
+    # Two rows of metal shelving across the floor.
+    for y in (3.0, 6.0):
+        env.add_wall(Wall.of(1.0, y, 5.5, y, material="metal"))
+        env.add_wall(Wall.of(6.5, y, 9.0, y, material="metal"))
+    return env
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    points = grid_points(5, spacing=2.0, jitter=0.2, seed=rng)
+    radius = RADIUS_DIST**ALPHA  # decay radius for the same distance reach
+
+    free = DecaySpace.from_points(points, ALPHA)
+    shelved = build_environment_space(points, warehouse())
+
+    print(f"{'space':12s} {'gamma(r)':>9s} {'slots':>6s} {'completed':>10s}")
+    for name, space in (("free space", free), ("warehouse", shelved)):
+        gamma = fading_parameter(space, radius, exact=space.n <= 20)
+        result = run_local_broadcast(
+            space,
+            radius,
+            aggressiveness=0.5,
+            max_slots=20000,
+            seed=rng,
+        )
+        print(
+            f"{name:12s} {gamma:9.2f} {result.slots:6d} "
+            f"{str(result.completed):>10s}"
+        )
+
+    print(
+        "\nShelving attenuates cross-aisle links: neighborhoods shrink and"
+        "\nresidual interference concentrates along aisles.  The fading"
+        "\nparameter summarises that structure; protocols need no other"
+        "\nknowledge of the environment to keep working."
+    )
+
+
+if __name__ == "__main__":
+    main()

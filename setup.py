@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP-660 editable installs (which build a wheel) fail.  With a
+``setup.py`` present, ``pip install -e .`` falls back to the legacy
+``setup.py develop`` path, which needs no wheel.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

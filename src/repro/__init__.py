@@ -1,0 +1,119 @@
+"""repro — decay spaces: fully realistic wireless models beyond geometry.
+
+A production-quality reproduction of Bodlaender & Halldorsson, *Beyond
+Geometry: Towards Fully Realistic Wireless Models* (PODC 2014,
+arXiv:1402.5003).
+
+Quick start::
+
+    import numpy as np
+    from repro import DecaySpace, LinkSet, capacity_bounded_growth
+
+    points = np.random.default_rng(0).uniform(0, 10, size=(20, 2))
+    space = DecaySpace.from_points(points, alpha=3.0)
+    links = LinkSet(space, [(2 * i, 2 * i + 1) for i in range(10)])
+    result = capacity_bounded_growth(links)
+    print(result.selected, space.metricity())
+
+Subpackages
+-----------
+``repro.core``
+    Decay spaces, metricity, links, power, affectance, SINR, feasibility.
+``repro.spaces``
+    Quasi-metrics, dimensions, independence, fading, constructions.
+``repro.geometry``
+    Environments: walls, reflections, shadowing, antennas, measurements.
+``repro.algorithms``
+    Capacity (Algorithm 1 and baselines), partitions, amicability,
+    scheduling.
+``repro.distributed``
+    Slot-synchronous simulator, local broadcast, no-regret capacity.
+``repro.hardness``
+    The Theorem 3 and Theorem 6 lower-bound constructions.
+``repro.experiments``
+    Drivers regenerating every quantitative claim (see EXPERIMENTS.md).
+"""
+
+from repro.algorithms import (
+    CapacityResult,
+    Schedule,
+    amicable_subset,
+    capacity_bounded_growth,
+    capacity_general_metric,
+    capacity_optimum,
+    capacity_strongest_first,
+    schedule_first_fit,
+    schedule_repeated_capacity,
+)
+from repro.core import (
+    DecaySpace,
+    Link,
+    LinkSet,
+    affectance_matrix,
+    is_feasible,
+    linear_power,
+    mean_power,
+    metricity,
+    phi,
+    signal_strengthening,
+    uniform_power,
+    varphi,
+)
+from repro.diagnostics import SpaceReport, characterize
+from repro.distributed import run_local_broadcast, run_regret_capacity
+from repro.geometry import (
+    Environment,
+    MeasurementModel,
+    Wall,
+    build_environment_space,
+    office_floorplan,
+)
+from repro.hardness import equidecay_instance, twoline_instance
+from repro.spaces import (
+    assouad_dimension,
+    fading_parameter,
+    independence_dimension,
+    theorem2_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityResult",
+    "DecaySpace",
+    "Environment",
+    "Link",
+    "LinkSet",
+    "MeasurementModel",
+    "Schedule",
+    "SpaceReport",
+    "Wall",
+    "__version__",
+    "affectance_matrix",
+    "amicable_subset",
+    "assouad_dimension",
+    "build_environment_space",
+    "capacity_bounded_growth",
+    "capacity_general_metric",
+    "capacity_optimum",
+    "capacity_strongest_first",
+    "characterize",
+    "equidecay_instance",
+    "fading_parameter",
+    "independence_dimension",
+    "is_feasible",
+    "linear_power",
+    "mean_power",
+    "metricity",
+    "office_floorplan",
+    "phi",
+    "run_local_broadcast",
+    "run_regret_capacity",
+    "schedule_first_fit",
+    "schedule_repeated_capacity",
+    "signal_strengthening",
+    "theorem2_bound",
+    "twoline_instance",
+    "uniform_power",
+    "varphi",
+]

@@ -1,0 +1,119 @@
+"""Amicability: Definition 4.2 and the Theorem 4 extraction.
+
+A link set ``L`` is ``h(zeta)``-amicable when every feasible subset ``S``
+contains a sub-subset ``S'`` of size ``Omega(|S| / h(zeta))`` such that the
+out-affectance ``a_v(S')`` of *every* link of ``L`` on ``S'`` is bounded by
+a constant (under uniform power).  Amicability is the structural property
+behind the no-regret distributed capacity algorithms [14, 1, 11, 12].
+
+Theorem 4: bounded-growth spaces are ``O(D * zeta^(2A'))``-amicable with
+constant ``(1 + 2e^2) * D``.  The constructive proof is implemented here:
+partition ``S`` into zeta-separated classes (Lemma 4.1), keep the largest,
+then keep its members with out-affectance at most 2 (at least half by
+Markov's inequality applied to the feasibility average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.partition import partition_feasible_to_separated
+from repro.core.affectance import affectance_matrix
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+
+__all__ = ["AmicabilityReport", "amicable_subset", "verify_amicability"]
+
+
+@dataclass(frozen=True)
+class AmicabilityReport:
+    """Outcome of the Theorem-4 extraction on one feasible set.
+
+    Attributes
+    ----------
+    subset:
+        The extracted ``S'``.
+    input_size, class_count:
+        Size of the input ``S`` and number of Lemma-4.1 classes.
+    max_out_affectance:
+        ``max over l_v in L of a_v(S')`` — Theorem 4 bounds this by
+        ``(1 + 2e^2) * D``.
+    """
+
+    subset: tuple[int, ...]
+    input_size: int
+    class_count: int
+    max_out_affectance: float
+
+    @property
+    def size_ratio(self) -> float:
+        """``|S'| / |S|`` — Theorem 4 promises ``Omega(1 / zeta^(2A'))``."""
+        if self.input_size == 0:
+            return 1.0
+        return len(self.subset) / self.input_size
+
+
+def amicable_subset(
+    links: LinkSet,
+    feasible_subset: np.ndarray | list[int],
+    *,
+    power: float = 1.0,
+    noise: float = 0.0,
+    beta: float = 1.0,
+    zeta: float | None = None,
+    out_affectance_cut: float = 2.0,
+) -> AmicabilityReport:
+    """Extract the amicable sub-subset ``S'`` of Theorem 4's proof.
+
+    ``feasible_subset`` must be feasible under uniform power; the function
+    does not re-verify (callers produce it from a capacity algorithm or an
+    exact solver).
+    """
+    idx = np.asarray(feasible_subset, dtype=int)
+    powers = uniform_power(links, power)
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=True)
+
+    if idx.size == 0:
+        return AmicabilityReport((), 0, 0, 0.0)
+
+    classes = partition_feasible_to_separated(
+        links, idx, power=power, noise=noise, beta=beta, zeta=zeta
+    )
+    largest = max(classes, key=len)
+
+    # Keep members with out-affectance at most `cut` within the class; by
+    # the feasibility averaging argument at least half survive cut=2.
+    out_aff = a[np.ix_(largest, largest)].sum(axis=1)
+    survivors = largest[out_aff <= out_affectance_cut]
+
+    if survivors.size:
+        max_out = float(a[:, survivors].sum(axis=1).max())
+    else:
+        max_out = 0.0
+    return AmicabilityReport(
+        subset=tuple(int(v) for v in survivors),
+        input_size=int(idx.size),
+        class_count=len(classes),
+        max_out_affectance=max_out,
+    )
+
+
+def verify_amicability(
+    links: LinkSet,
+    subset: np.ndarray | list[int],
+    constant: float,
+    *,
+    power: float = 1.0,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> bool:
+    """Check Definition 4.2's condition: ``a_v(subset) <= constant`` for all
+    links ``v`` of the set (uniform power, clipped affectance)."""
+    idx = np.asarray(subset, dtype=int)
+    if idx.size == 0:
+        return True
+    powers = uniform_power(links, power)
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=True)
+    return bool(np.all(a[:, idx].sum(axis=1) <= constant + 1e-9))

@@ -1,0 +1,119 @@
+"""Algorithm 1: uniform-power CAPACITY in bounded-growth decay spaces.
+
+The paper's Algorithm 1 (Sec. 4.1) processes links in non-decreasing order
+of signal decay ``f_vv``, maintaining a candidate set ``X``.  A link is
+added when it is (zeta/2)-separated from ``X`` and its combined in+out
+affectance with respect to ``X`` is at most 1/2.  The returned solution is
+``S = {l_v in X : a_X(v) <= 1}``, which is always feasible (``S`` is a
+subset of ``X`` so every member's in-affectance is at most 1).
+
+Theorem 5: in decay spaces of bounded independence dimension and doubling
+quasi-metric, ``|OPT| = O(zeta^(2A)) |S|`` — a ``zeta^O(1)`` approximation,
+and ``O(alpha^4)`` on the plane under geometric decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.affectance import affectance_matrix, in_affectances_within
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.core.separation import link_distance_matrix
+
+__all__ = ["CapacityResult", "capacity_bounded_growth"]
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Result of a capacity algorithm.
+
+    Attributes
+    ----------
+    selected:
+        Indices of the returned (feasible) link set ``S``.
+    candidate:
+        The intermediate candidate set ``X`` (equal to ``selected`` for
+        algorithms without a final filter).
+    zeta:
+        The metricity value the run used (``nan`` when not applicable).
+    powers:
+        The power assignment under which the output is feasible.
+    """
+
+    selected: tuple[int, ...]
+    candidate: tuple[int, ...]
+    zeta: float
+    powers: np.ndarray = field(repr=False, compare=False, default=None)
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the returned feasible set."""
+        return len(self.selected)
+
+
+def capacity_bounded_growth(
+    links: LinkSet,
+    *,
+    power: float = 1.0,
+    noise: float = 0.0,
+    beta: float = 1.0,
+    zeta: float | None = None,
+) -> CapacityResult:
+    """Run Algorithm 1 with uniform power.
+
+    Parameters
+    ----------
+    links:
+        The input link set ``L``.
+    power, noise, beta:
+        Physical parameters; uniform power is mandated by the algorithm.
+    zeta:
+        Metricity override; defaults to the decay space's own metricity
+        (clamped below at 1 so the separation requirement stays
+        meaningful on nearly-uniform spaces).
+
+    Returns
+    -------
+    CapacityResult
+        With ``selected`` the feasible output ``S`` and ``candidate`` the
+        internal set ``X``.
+    """
+    z = links._resolve_zeta(zeta)
+    z = max(z, 1.0)
+    powers = uniform_power(links, power)
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=True)
+    dist = link_distance_matrix(links, z)
+    qlen = np.diagonal(dist)
+    eta = z / 2.0
+
+    x: list[int] = []
+    in_aff = np.zeros(links.m)  # a_X(v) for every link v
+    out_aff = np.zeros(links.m)  # a_v(X) for every link v
+    for v in links.order_by_length():
+        v = int(v)
+        if x:
+            separated = bool(np.all(dist[v, x] >= eta * qlen[v]))
+        else:
+            separated = True
+        if separated and out_aff[v] + in_aff[v] <= 0.5:
+            x.append(v)
+            in_aff += a[v]  # l_v now affects every other link
+            out_aff += a[:, v]  # every link's out-affectance onto X grows
+
+    x_arr = np.asarray(x, dtype=int)
+    if x_arr.size:
+        final_in = in_affectances_within(a, x_arr)
+        selected = tuple(
+            sorted(int(v) for v, load in zip(x_arr, final_in) if load <= 1.0)
+        )
+    else:
+        selected = ()
+    return CapacityResult(
+        selected=selected,
+        candidate=tuple(x),
+        zeta=float(z),
+        powers=powers,
+    )

@@ -1,0 +1,118 @@
+"""Greedy CAPACITY for general decay spaces and monotone powers.
+
+This is the transferred form (via Proposition 1) of the general-metric
+capacity algorithms of Halldorsson & Mitra [30]: process links in
+non-decreasing length order and admit a link when its combined in+out
+affectance against the current set is below a threshold; finish with the
+standard in-affectance filter.  Unlike Algorithm 1 it needs no separation
+check and works with any monotone power assignment, but its approximation
+guarantee is exponential in the metricity (3^zeta after the refinement in
+the sibling paper [24]) rather than polynomial.
+
+Also provided: the trivial strongest-first heuristic used as a
+lower-baseline in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.capacity import CapacityResult
+from repro.core.affectance import affectance_matrix, in_affectances_within
+from repro.core.links import LinkSet
+from repro.core.power import is_monotone, uniform_power
+
+__all__ = ["capacity_general_metric", "capacity_strongest_first"]
+
+
+def capacity_general_metric(
+    links: LinkSet,
+    powers: np.ndarray | None = None,
+    *,
+    noise: float = 0.0,
+    beta: float = 1.0,
+    admission_threshold: float = 0.5,
+    require_monotone: bool = True,
+) -> CapacityResult:
+    """Greedy capacity in arbitrary decay spaces (monotone power).
+
+    Parameters
+    ----------
+    links:
+        Input link set.
+    powers:
+        Monotone power assignment; defaults to uniform power.
+    admission_threshold:
+        A link joins the candidate set when ``a_v(X) + a_X(v)`` is at most
+        this value (1/2 in the paper's algorithms).
+    require_monotone:
+        Verify the power assignment is monotone (Sec. 2.4) and raise
+        otherwise; disable only for deliberately adversarial runs.
+    """
+    p = uniform_power(links) if powers is None else np.asarray(powers, dtype=float)
+    if require_monotone and not is_monotone(links, p):
+        from repro.errors import PowerError
+
+        raise PowerError(
+            "capacity_general_metric requires a monotone power assignment; "
+            "pass require_monotone=False to override"
+        )
+    a = affectance_matrix(links, p, noise=noise, beta=beta, clip=True)
+
+    x: list[int] = []
+    in_aff = np.zeros(links.m)
+    out_aff = np.zeros(links.m)
+    for v in links.order_by_length():
+        v = int(v)
+        if out_aff[v] + in_aff[v] <= admission_threshold:
+            x.append(v)
+            in_aff += a[v]
+            out_aff += a[:, v]
+
+    x_arr = np.asarray(x, dtype=int)
+    if x_arr.size:
+        final_in = in_affectances_within(a, x_arr)
+        selected = tuple(
+            sorted(int(v) for v, load in zip(x_arr, final_in) if load <= 1.0)
+        )
+    else:
+        selected = ()
+    return CapacityResult(
+        selected=selected, candidate=tuple(x), zeta=float("nan"), powers=p
+    )
+
+
+def capacity_strongest_first(
+    links: LinkSet,
+    powers: np.ndarray | None = None,
+    *,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> CapacityResult:
+    """Naive baseline: admit links shortest-first while the set stays feasible.
+
+    Exact feasibility is rechecked on every admission (O(m^2) per step), so
+    the output is always feasible, but there is no approximation guarantee —
+    this is the foil against which the structured algorithms are measured.
+    """
+    p = uniform_power(links) if powers is None else np.asarray(powers, dtype=float)
+    a = affectance_matrix(links, p, noise=noise, beta=beta, clip=False)
+
+    chosen: list[int] = []
+    in_aff = np.zeros(links.m)
+    for v in links.order_by_length():
+        v = int(v)
+        # In-affectance of the would-be set on each member and on v.
+        new_in_v = in_aff[v]
+        if new_in_v > 1.0:
+            continue
+        if chosen and np.any(in_affectances_within(a, chosen) + a[v, chosen] > 1.0):
+            continue
+        chosen.append(v)
+        in_aff += a[v]
+    return CapacityResult(
+        selected=tuple(chosen),
+        candidate=tuple(chosen),
+        zeta=float("nan"),
+        powers=p,
+    )

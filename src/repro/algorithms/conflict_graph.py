@@ -1,0 +1,127 @@
+"""Conflict-graph baselines (protocol/disk model and affectance graphs).
+
+Graph-based interference models are the classical alternative the paper's
+SINR/decay machinery is measured against.  Two constructions:
+
+* :func:`distance_conflict_graph` — the protocol model: two links conflict
+  when their link quasi-distance is below a guard factor times the longer
+  link's length.
+* :func:`affectance_conflict_graph` — pairwise-affectance thresholding,
+  the "conflict graph" whose utility bounds are studied by Tonoyan [61, 60].
+
+Plus a greedy maximum-independent-set heuristic used as the baseline
+capacity algorithm on those graphs, and the C-independence measure of
+[1, 12] (Definition 4.2's ancestor).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.affectance import affectance_matrix
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.core.separation import link_distance_matrix
+
+__all__ = [
+    "distance_conflict_graph",
+    "affectance_conflict_graph",
+    "greedy_independent_set",
+    "exact_independent_set",
+    "capacity_conflict_graph",
+]
+
+
+def distance_conflict_graph(
+    links: LinkSet, guard: float = 1.0, zeta: float | None = None
+) -> nx.Graph:
+    """Protocol-model conflict graph.
+
+    Links ``v`` and ``w`` conflict when
+    ``d(l_v, l_w) < guard * max(d_vv, d_ww)``.
+    """
+    dist = link_distance_matrix(links, zeta)
+    qlen = np.diagonal(dist)
+    g = nx.Graph()
+    g.add_nodes_from(range(links.m))
+    thresh = guard * np.maximum(qlen[:, None], qlen[None, :])
+    bad = dist < thresh
+    np.fill_diagonal(bad, False)
+    for v, w in zip(*np.nonzero(np.triu(bad))):
+        g.add_edge(int(v), int(w))
+    return g
+
+
+def affectance_conflict_graph(
+    links: LinkSet,
+    powers: np.ndarray | None = None,
+    threshold: float = 0.5,
+    *,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> nx.Graph:
+    """Conflict graph by symmetric affectance thresholding.
+
+    Links conflict when ``a_v(w) + a_w(v) >= threshold``.
+    """
+    p = uniform_power(links) if powers is None else np.asarray(powers, dtype=float)
+    a = affectance_matrix(links, p, noise=noise, beta=beta, clip=True)
+    sym = a + a.T
+    g = nx.Graph()
+    g.add_nodes_from(range(links.m))
+    bad = sym >= threshold
+    np.fill_diagonal(bad, False)
+    for v, w in zip(*np.nonzero(np.triu(bad))):
+        g.add_edge(int(v), int(w))
+    return g
+
+
+def greedy_independent_set(
+    graph: nx.Graph, priority: np.ndarray | None = None
+) -> list[int]:
+    """Greedy MIS: repeatedly take the best remaining node, drop neighbours.
+
+    ``priority`` orders candidates (lower first); defaults to degree.
+    """
+    if priority is None:
+        priority = np.array([graph.degree(v) for v in sorted(graph.nodes)])
+    order = sorted(graph.nodes, key=lambda v: (priority[v], v))
+    taken: list[int] = []
+    blocked: set[int] = set()
+    for v in order:
+        if v in blocked:
+            continue
+        taken.append(v)
+        blocked.add(v)
+        blocked.update(graph.neighbors(v))
+    return sorted(taken)
+
+
+def exact_independent_set(graph: nx.Graph) -> list[int]:
+    """Exact MIS via maximum clique of the complement (small graphs only)."""
+    comp = nx.complement(graph)
+    clique, _ = nx.max_weight_clique(comp, weight=None)
+    return sorted(int(v) for v in clique)
+
+
+def capacity_conflict_graph(
+    links: LinkSet,
+    guard: float = 1.0,
+    zeta: float | None = None,
+    exact: bool = False,
+) -> list[int]:
+    """Capacity baseline: an independent set in the protocol-model graph.
+
+    Note: the output is *not* necessarily SINR-feasible — graph models
+    ignore the additivity of interference, which is exactly the weakness
+    the SINR literature documents.  Benchmarks report both the raw size
+    and the SINR-feasible fraction.
+    """
+    g = distance_conflict_graph(links, guard=guard, zeta=zeta)
+    if exact:
+        return exact_independent_set(g)
+    # Shorter links first: mirrors the SINR algorithms' ordering.
+    rank = np.empty(links.m)
+    rank[links.order_by_length()] = np.arange(links.m)
+    return greedy_independent_set(g, priority=rank)

@@ -1,0 +1,104 @@
+"""Core SINR/decay-space engine (paper Sec. 2).
+
+This subpackage implements the paper's primary modeling contribution:
+decay spaces, the metricity parameters ``zeta`` and ``phi``, links,
+power assignments, affectance, SINR thresholding, feasibility and
+eta-separation.
+"""
+
+from repro.core.affectance import (
+    affectance_matrix,
+    in_affectance,
+    in_affectances_within,
+    noise_constants,
+    out_affectance,
+    total_affectance,
+)
+from repro.core.decay import DecaySpace
+from repro.core.feasibility import (
+    feasibility_margin,
+    is_feasible,
+    is_k_feasible,
+    signal_strengthening,
+    strengthening_class_bound,
+)
+from repro.core.links import Link, LinkSet
+from repro.core.metricity import (
+    metricity,
+    metricity_witness,
+    phi,
+    satisfies_metricity,
+    varphi,
+    varphi_witness,
+    zeta_of_triple,
+)
+from repro.core.rayleigh import (
+    expected_successes,
+    rayleigh_success_probabilities,
+    thresholding_gap,
+)
+from repro.core.power import (
+    is_monotone,
+    linear_power,
+    mean_power,
+    monotonicity_violation,
+    oblivious_power,
+    uniform_power,
+)
+from repro.core.separation import (
+    is_separated_from,
+    is_separated_set,
+    link_distance_matrix,
+    separation_of_set,
+    separation_violations,
+)
+from repro.core.sinr import (
+    interference,
+    is_sinr_feasible,
+    received_powers,
+    sinr,
+    successful,
+)
+
+__all__ = [
+    "DecaySpace",
+    "Link",
+    "LinkSet",
+    "affectance_matrix",
+    "feasibility_margin",
+    "in_affectance",
+    "in_affectances_within",
+    "expected_successes",
+    "interference",
+    "is_feasible",
+    "is_k_feasible",
+    "is_monotone",
+    "is_separated_from",
+    "is_separated_set",
+    "is_sinr_feasible",
+    "linear_power",
+    "link_distance_matrix",
+    "mean_power",
+    "metricity",
+    "metricity_witness",
+    "monotonicity_violation",
+    "noise_constants",
+    "oblivious_power",
+    "out_affectance",
+    "phi",
+    "rayleigh_success_probabilities",
+    "received_powers",
+    "satisfies_metricity",
+    "separation_of_set",
+    "separation_violations",
+    "signal_strengthening",
+    "sinr",
+    "strengthening_class_bound",
+    "successful",
+    "thresholding_gap",
+    "total_affectance",
+    "uniform_power",
+    "varphi",
+    "varphi_witness",
+    "zeta_of_triple",
+]

@@ -1,0 +1,124 @@
+"""Affectance: normalised interference between links (paper Sec. 2.4).
+
+The affectance of link ``l_w`` on link ``l_v`` under power assignment ``P``
+is the interference of ``l_w`` at ``r_v`` normalised to the received signal
+of ``l_v``::
+
+    a_w(v) = min(1, c_v * (P_w / P_v) * (f_vv / f_wv))
+
+where ``f_wv = f(s_w, r_v)`` and ``c_v = beta / (1 - beta N / (P_v G_vv))``
+absorbs ambient noise (``c_v = beta`` when ``N = 0``).  With at least two
+links, the SINR constraint ``SINR_v >= beta`` is *equivalent* to the
+unclipped in-affectance bound ``sum_{w in S} a_w(v) <= 1``; the clipped
+variant is what the paper's algorithms account with (they coincide on
+feasible sets, since a clipped entry implies in-affectance >= 1).
+
+Matrix convention: ``A[w, v] = a_w(v)`` — row is the *acting* link, column
+the *affected* link.  ``a_v(v) = 0`` by definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.links import LinkSet
+from repro.errors import InfeasibleLinkError, PowerError
+
+__all__ = [
+    "noise_constants",
+    "affectance_matrix",
+    "in_affectance",
+    "out_affectance",
+    "in_affectances_within",
+    "total_affectance",
+]
+
+
+def noise_constants(
+    links: LinkSet,
+    powers: np.ndarray,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """The constants ``c_v`` of Sec. 2.4, one per link.
+
+    ``c_v = beta / (1 - beta * N * f_vv / P_v)``.  Raises
+    :class:`InfeasibleLinkError` when some link cannot reach SINR ``beta``
+    even in isolation (``P_v / f_vv <= beta * N``).
+    """
+    if beta <= 0:
+        raise PowerError(f"beta must be positive, got {beta}")
+    if noise < 0:
+        raise PowerError(f"noise must be non-negative, got {noise}")
+    p = np.asarray(powers, dtype=float)
+    if p.shape != (links.m,):
+        raise PowerError(f"power vector must have shape ({links.m},)")
+    slack = 1.0 - beta * noise * links.lengths / p
+    if np.any(slack <= 0):
+        bad = int(np.argmin(slack))
+        raise InfeasibleLinkError(
+            f"link {bad} cannot overcome ambient noise: "
+            f"P/f_vv = {p[bad] / links.length(bad):.4g} <= beta*N = {beta * noise:.4g}"
+        )
+    return beta / slack
+
+
+def affectance_matrix(
+    links: LinkSet,
+    powers: np.ndarray,
+    noise: float = 0.0,
+    beta: float = 1.0,
+    clip: bool = True,
+) -> np.ndarray:
+    """The full affectance matrix ``A[w, v] = a_w(v)``.
+
+    With ``clip=True`` (the paper's definition) entries are capped at 1.
+    Pass ``clip=False`` to obtain the raw normalised interference, for which
+    in-affectance sums are exactly SINR-equivalent.  Co-located interferers
+    (``s_w == r_v``, zero decay) yield infinite raw affectance.
+    """
+    c = noise_constants(links, powers, noise=noise, beta=beta)
+    p = np.asarray(powers, dtype=float)
+    f_vv = links.lengths
+    with np.errstate(divide="ignore"):
+        ratio = f_vv[None, :] / links.cross_decay
+    a = c[None, :] * (p[:, None] / p[None, :]) * ratio
+    np.fill_diagonal(a, 0.0)
+    if clip:
+        a = np.minimum(a, 1.0)
+    return a
+
+
+def in_affectance(
+    a: np.ndarray, subset: np.ndarray | list[int], v: int
+) -> float:
+    """``a_S(v)``: total affectance of the links in ``subset`` on link ``v``.
+
+    ``v`` itself contributes nothing when it belongs to ``subset`` (the
+    diagonal of the affectance matrix is zero).
+    """
+    idx = np.asarray(subset, dtype=int)
+    return float(a[idx, v].sum())
+
+
+def out_affectance(
+    a: np.ndarray, v: int, subset: np.ndarray | list[int]
+) -> float:
+    """``a_v(S)``: total affectance of link ``v`` on the links in ``subset``."""
+    idx = np.asarray(subset, dtype=int)
+    return float(a[v, idx].sum())
+
+
+def in_affectances_within(
+    a: np.ndarray, subset: np.ndarray | list[int]
+) -> np.ndarray:
+    """Vector of ``a_S(v)`` for every ``v`` in ``subset`` (aligned to it)."""
+    idx = np.asarray(subset, dtype=int)
+    sub = a[np.ix_(idx, idx)]
+    return sub.sum(axis=0)
+
+
+def total_affectance(a: np.ndarray, subset: np.ndarray | list[int]) -> float:
+    """``sum_{v in S} a_S(v)`` — used by the averaging argument of Thm. 4."""
+    idx = np.asarray(subset, dtype=int)
+    return float(a[np.ix_(idx, idx)].sum())

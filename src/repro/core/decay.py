@@ -1,0 +1,325 @@
+"""Decay spaces: the central data structure of the paper (Definition 2.1).
+
+A *decay space* is a pair ``D = (V, f)`` where ``V`` is a finite set of
+nodes and ``f : V x V -> R>=0`` maps ordered node pairs to the
+multiplicative *decay* a signal suffers between them.  The channel gain of
+an ordered pair is ``G(p, q) = 1 / f(p, q)``.  Decay spaces generalise the
+geometric path-loss assumption ``f(p, q) = d(p, q)^alpha`` of the GEO-SINR
+model: they need be neither symmetric nor satisfy the triangle inequality
+(they are *premetrics*).
+
+This module provides :class:`DecaySpace`, a validated, immutable wrapper
+around an ``(n, n)`` decay matrix, together with the derived objects used
+throughout the paper: decay balls (Sec. 3.1), quasi-distances
+``d = f^(1/zeta)`` (Sec. 2.2) and restrictions to sub-spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import DecaySpaceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.spaces.quasimetric import QuasiMetric
+
+__all__ = ["DecaySpace"]
+
+#: Relative tolerance used by :meth:`DecaySpace.is_symmetric`.
+_SYMMETRY_RTOL = 1e-9
+
+
+def _validate_matrix(matrix: np.ndarray) -> None:
+    """Check the decay-space axioms of Definition 2.1 on a matrix."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DecaySpaceError(
+            f"decay matrix must be square, got shape {matrix.shape}"
+        )
+    if matrix.shape[0] == 0:
+        raise DecaySpaceError("decay space must contain at least one node")
+    if not np.all(np.isfinite(matrix)):
+        raise DecaySpaceError(
+            "decay matrix must be finite; model total blockage with a large "
+            "finite decay (e.g. a measurement noise floor)"
+        )
+    diag = np.diagonal(matrix)
+    if np.any(diag != 0.0):
+        raise DecaySpaceError(
+            "identity of indiscernibles: f(p, p) must be 0 on the diagonal"
+        )
+    off = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    if off.size and not np.all(off > 0.0):
+        raise DecaySpaceError(
+            "decays between distinct nodes must be strictly positive"
+        )
+
+
+class DecaySpace:
+    """A finite decay space ``(V, f)`` backed by a decay matrix.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, n)`` array with ``matrix[p, q] = f(p, q)``, the decay from
+        node ``p`` to node ``q``.  The diagonal must be zero and all
+        off-diagonal entries strictly positive and finite.
+    labels:
+        Optional human-readable node labels (length ``n``).
+    validate:
+        Skip axiom validation when ``False`` (for trusted internal callers).
+
+    Notes
+    -----
+    The instance is immutable: the wrapped matrix is copied and marked
+    read-only, and derived quantities such as the metricity ``zeta`` are
+    cached on first use.
+    """
+
+    __slots__ = ("_f", "_labels", "_cache")
+
+    def __init__(
+        self,
+        matrix: np.ndarray | Sequence[Sequence[float]],
+        labels: Sequence[str] | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        f = np.array(matrix, dtype=float)
+        if validate:
+            _validate_matrix(f)
+        f.setflags(write=False)
+        self._f = f
+        if labels is not None:
+            if len(labels) != f.shape[0]:
+                raise DecaySpaceError(
+                    f"got {len(labels)} labels for {f.shape[0]} nodes"
+                )
+            self._labels = tuple(str(lab) for lab in labels)
+        else:
+            self._labels = None
+        self._cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_distances(
+        cls,
+        distances: np.ndarray | Sequence[Sequence[float]],
+        alpha: float,
+        labels: Sequence[str] | None = None,
+    ) -> "DecaySpace":
+        """Geometric path loss: ``f(p, q) = d(p, q)^alpha`` (GEO-SINR).
+
+        For such spaces the metricity equals ``alpha`` whenever ``d`` is a
+        metric (Sec. 2.2 of the paper).
+        """
+        if alpha <= 0:
+            raise DecaySpaceError(f"path-loss exponent must be positive, got {alpha}")
+        d = np.asarray(distances, dtype=float)
+        return cls(d**alpha, labels=labels)
+
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray | Sequence[Sequence[float]],
+        alpha: float,
+        labels: Sequence[str] | None = None,
+    ) -> "DecaySpace":
+        """Geometric path loss over Euclidean point coordinates."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise DecaySpaceError("points must be a 2-D array (n, dim)")
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        return cls.from_distances(dist, alpha, labels=labels)
+
+    @classmethod
+    def from_gains(
+        cls,
+        gains: np.ndarray | Sequence[Sequence[float]],
+        labels: Sequence[str] | None = None,
+    ) -> "DecaySpace":
+        """Build from a channel-gain matrix ``G`` via ``f = 1 / G``.
+
+        The diagonal of ``G`` is ignored (set to infinite gain / zero decay).
+        """
+        g = np.array(gains, dtype=float)
+        if g.ndim != 2 or g.shape[0] != g.shape[1]:
+            raise DecaySpaceError(f"gain matrix must be square, got {g.shape}")
+        if np.any(g[~np.eye(g.shape[0], dtype=bool)] <= 0):
+            raise DecaySpaceError("gains between distinct nodes must be positive")
+        with np.errstate(divide="ignore"):
+            f = 1.0 / g
+        np.fill_diagonal(f, 0.0)
+        return cls(f, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def f(self) -> np.ndarray:
+        """The read-only ``(n, n)`` decay matrix."""
+        return self._f
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the space."""
+        return self._f.shape[0]
+
+    @property
+    def labels(self) -> tuple[str, ...] | None:
+        """Optional node labels."""
+        return self._labels
+
+    def decay(self, p: int, q: int) -> float:
+        """The decay ``f(p, q)`` from node ``p`` to node ``q``."""
+        return float(self._f[p, q])
+
+    def gain(self, p: int, q: int) -> float:
+        """The channel gain ``G(p, q) = 1 / f(p, q)`` (``inf`` when p == q)."""
+        fpq = self._f[p, q]
+        return float("inf") if fpq == 0.0 else float(1.0 / fpq)
+
+    def off_diagonal(self) -> np.ndarray:
+        """All decays between distinct ordered pairs, as a flat array."""
+        mask = ~np.eye(self.n, dtype=bool)
+        return self._f[mask]
+
+    def min_decay(self) -> float:
+        """Smallest decay between distinct nodes."""
+        off = self.off_diagonal()
+        return float(off.min()) if off.size else float("nan")
+
+    def max_decay(self) -> float:
+        """Largest decay between distinct nodes."""
+        off = self.off_diagonal()
+        return float(off.max()) if off.size else float("nan")
+
+    def decay_ratio(self) -> float:
+        """The ratio ``max f / min f`` over distinct pairs."""
+        return self.max_decay() / self.min_decay()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def is_symmetric(self, rtol: float = _SYMMETRY_RTOL) -> bool:
+        """Whether ``f(p, q) == f(q, p)`` for all pairs (up to ``rtol``)."""
+        return bool(np.allclose(self._f, self._f.T, rtol=rtol, atol=0.0))
+
+    def symmetrized(self, how: str = "max") -> "DecaySpace":
+        """A symmetric space obtained by combining ``f(p,q)`` and ``f(q,p)``.
+
+        ``how`` is one of ``"max"``, ``"min"``, ``"mean"`` or ``"geomean"``.
+        """
+        a, b = self._f, self._f.T
+        if how == "max":
+            g = np.maximum(a, b)
+        elif how == "min":
+            g = np.minimum(a, b)
+        elif how == "mean":
+            g = (a + b) / 2.0
+        elif how == "geomean":
+            g = np.sqrt(a * b)
+        else:
+            raise DecaySpaceError(f"unknown symmetrization {how!r}")
+        return DecaySpace(g, labels=self._labels, validate=False)
+
+    def restrict(self, nodes: Iterable[int]) -> "DecaySpace":
+        """The sub-space induced by the given node indices (in given order)."""
+        idx = np.asarray(list(nodes), dtype=int)
+        if idx.size == 0:
+            raise DecaySpaceError("cannot restrict to an empty node set")
+        if len(set(idx.tolist())) != idx.size:
+            raise DecaySpaceError("restriction indices must be distinct")
+        if idx.min() < 0 or idx.max() >= self.n:
+            raise DecaySpaceError("restriction index out of range")
+        sub = self._f[np.ix_(idx, idx)]
+        labels = (
+            tuple(self._labels[i] for i in idx) if self._labels is not None else None
+        )
+        return DecaySpace(sub, labels=labels, validate=False)
+
+    def ball(self, center: int, radius: float) -> np.ndarray:
+        """The decay ball ``B(center, radius)`` of Sec. 3.1.
+
+        Returns the indices ``x`` with ``f(x, center) < radius`` — the nodes
+        whose decay *towards* the center is below the radius.  The center
+        itself is always included (``f(c, c) = 0``).
+        """
+        return np.flatnonzero(self._f[:, center] < radius)
+
+    # ------------------------------------------------------------------
+    # Metricity and induced quasi-metric (delegates to repro.core.metricity)
+    # ------------------------------------------------------------------
+    def metricity(self, tol: float = 1e-9) -> float:
+        """The metricity ``zeta(D)`` of Definition 2.2 (cached)."""
+        key = f"zeta:{tol}"
+        if key not in self._cache:
+            from repro.core.metricity import metricity
+
+            self._cache[key] = metricity(self, tol=tol)
+        return float(self._cache[key])  # type: ignore[arg-type]
+
+    def varphi(self) -> float:
+        """The relaxed-triangle parameter ``varphi`` of Sec. 4.2 (cached)."""
+        if "varphi" not in self._cache:
+            from repro.core.metricity import varphi
+
+            self._cache["varphi"] = varphi(self)
+        return float(self._cache["varphi"])  # type: ignore[arg-type]
+
+    def phi(self) -> float:
+        """``phi = lg(varphi)`` of Sec. 4.2."""
+        from repro.core.metricity import phi
+
+        return phi(self)
+
+    def quasi_distances(self, zeta: float | None = None) -> np.ndarray:
+        """The quasi-distance matrix ``d = f^(1/zeta)`` of Sec. 2.2.
+
+        With the default ``zeta=None`` the space's own metricity is used, in
+        which case ``d`` satisfies the directed triangle inequality.
+        """
+        z = self.metricity() if zeta is None else float(zeta)
+        if z <= 0:
+            # All-equal decay spaces have metricity 0 (every positive zeta
+            # satisfies Definition 2.2); fall back to exponent 1.
+            z = 1.0
+        return self._f ** (1.0 / z)
+
+    def induced_quasimetric(self, zeta: float | None = None) -> "QuasiMetric":
+        """The induced quasi-metric ``D' = (V, d)`` of Sec. 2.2."""
+        from repro.spaces.quasimetric import QuasiMetric
+
+        return QuasiMetric(self.quasi_distances(zeta), validate=False)
+
+    def zeta_upper_bound(self) -> float:
+        """The generic bound ``zeta_0 = lg(max f / min f)`` from Sec. 2.2.
+
+        Always a valid (possibly loose) upper bound on the metricity; the
+        returned value is clamped below at a tiny positive constant so it can
+        seed a bisection bracket.
+        """
+        ratio = self.decay_ratio()
+        return max(float(np.log2(ratio)) if ratio > 1.0 else 0.0, 1e-12)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecaySpace):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self._f, other._f))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._f.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sym = "symmetric" if self.is_symmetric() else "asymmetric"
+        return f"DecaySpace(n={self.n}, {sym})"

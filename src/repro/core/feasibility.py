@@ -1,0 +1,165 @@
+"""Feasibility predicates and signal strengthening (Sec. 2.4, Lemma B.1).
+
+A set ``S`` of links is *feasible* under power assignment ``P`` when the
+in-affectance of every member is at most 1 (equivalently: every member
+meets its SINR threshold when exactly ``S`` transmits), and *K-feasible*
+when in-affectances are at most ``1/K``.  Feasibility is downward closed:
+every subset of a feasible set is feasible.
+
+Lemma B.1 (*signal strengthening*, from Halldorsson & Wattenhofer) turns a
+p-feasible set into at most ``ceil(2q/p)^2`` q-feasible sets.  The
+constructive proof implemented here makes two first-fit passes over the
+links — one in increasing and one in decreasing length order — each
+bounding the in-affectance from already-placed links by ``1/(2q)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.affectance import (
+    affectance_matrix,
+    in_affectances_within,
+)
+from repro.core.links import LinkSet
+from repro.errors import LinkError
+
+__all__ = [
+    "is_feasible",
+    "is_k_feasible",
+    "feasibility_margin",
+    "signal_strengthening",
+    "strengthening_class_bound",
+]
+
+
+def is_feasible(
+    links: LinkSet,
+    subset: np.ndarray | list[int],
+    powers: np.ndarray,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> bool:
+    """Whether ``subset`` is simultaneously feasible (SINR-exact).
+
+    Uses unclipped affectance, which is equivalent to checking
+    ``SINR_v >= beta`` for every member.
+    """
+    return is_k_feasible(links, subset, powers, 1.0, noise=noise, beta=beta)
+
+
+def is_k_feasible(
+    links: LinkSet,
+    subset: np.ndarray | list[int],
+    powers: np.ndarray,
+    k: float,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> bool:
+    """Whether every member of ``subset`` has in-affectance at most ``1/k``."""
+    idx = np.asarray(subset, dtype=int)
+    if idx.size <= 1:
+        return True
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    return bool(np.all(in_affectances_within(a, idx) <= 1.0 / k + 1e-12))
+
+
+def feasibility_margin(
+    links: LinkSet,
+    subset: np.ndarray | list[int],
+    powers: np.ndarray,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> float:
+    """The maximum in-affectance within ``subset`` (<= 1 iff feasible).
+
+    Returns 0 for empty or singleton subsets.
+    """
+    idx = np.asarray(subset, dtype=int)
+    if idx.size <= 1:
+        return 0.0
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    return float(in_affectances_within(a, idx).max())
+
+
+def strengthening_class_bound(p: float, q: float) -> int:
+    """The class-count bound ``ceil(2q/p)^2`` of Lemma B.1."""
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    return int(np.ceil(2.0 * q / p)) ** 2
+
+
+def _first_fit_pass(
+    a: np.ndarray,
+    ordered: list[int],
+    threshold: float,
+) -> list[list[int]]:
+    """First-fit links (in the given order) into groups so that the
+    in-affectance on each link from earlier links in its group is at most
+    ``threshold``.
+
+    Each group keeps a running vector ``incoming[g]`` with
+    ``incoming[g][w] = sum_{u in group g} a[u, w]``, so placement tests and
+    updates are O(groups + m) per link.
+    """
+    m = a.shape[0]
+    groups: list[list[int]] = []
+    incoming: list[np.ndarray] = []
+    slack = 1e-15
+    for v in ordered:
+        target = None
+        for g in range(len(groups)):
+            if incoming[g][v] <= threshold + slack:
+                target = g
+                break
+        if target is None:
+            groups.append([])
+            incoming.append(np.zeros(m))
+            target = len(groups) - 1
+        groups[target].append(v)
+        incoming[target] += a[v]
+    return groups
+
+
+def signal_strengthening(
+    links: LinkSet,
+    subset: np.ndarray | list[int],
+    powers: np.ndarray,
+    p: float,
+    q: float,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> list[np.ndarray]:
+    """Partition a p-feasible ``subset`` into q-feasible classes (Lemma B.1).
+
+    Returns the classes as arrays of link indices.  The number of classes is
+    guaranteed (and asserted in tests) to be at most ``ceil(2q/p)^2``.  The
+    input must actually be p-feasible; a :class:`LinkError` is raised
+    otherwise, since the pigeonhole argument then no longer applies.
+    """
+    if q < p:
+        raise ValueError(f"strengthening requires q >= p, got p={p}, q={q}")
+    idx = [int(i) for i in np.asarray(subset, dtype=int)]
+    if len(idx) != len(set(idx)):
+        raise LinkError("subset indices must be distinct")
+    if not is_k_feasible(links, idx, powers, p, noise=noise, beta=beta):
+        raise LinkError(f"input subset is not {p}-feasible")
+    if len(idx) <= 1:
+        return [np.asarray(idx, dtype=int)]
+
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    threshold = 1.0 / (2.0 * q)
+    lengths = links.lengths
+
+    # Pass 1: increasing length; bounds affectance from shorter links.
+    ordered = sorted(idx, key=lambda v: (lengths[v], v))
+    coarse = _first_fit_pass(a, ordered, threshold)
+
+    # Pass 2 within each class: decreasing length; bounds affectance from
+    # longer links.  Total in-affectance per final class is <= 1/q.
+    out: list[np.ndarray] = []
+    for group in coarse:
+        ordered_desc = sorted(group, key=lambda v: (-lengths[v], v))
+        for sub in _first_fit_pass(a, ordered_desc, threshold):
+            out.append(np.asarray(sorted(sub), dtype=int))
+    return out

@@ -1,0 +1,108 @@
+"""Power assignments and the paper's monotonicity condition (Sec. 2.4).
+
+A power assignment gives each link a transmission power ``P_v > 0``.  The
+paper works with *monotone* assignments: with links ordered by signal decay
+(``l_v < l_w`` implies ``f_vv <= f_ww``), both
+
+* ``P_v <= P_w``                      (longer links use no less power), and
+* ``P_w / f_ww <= P_v / f_vv``        (received signal is non-increasing)
+
+must hold.  This captures the standard oblivious power families: uniform
+power (``tau = 0``), linear/signal-proportional power (``tau = 1``) and the
+mean-power scheme (``tau = 1/2``), all instances of ``P_v ~ f_vv^tau`` for
+``tau in [0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.links import LinkSet
+from repro.errors import PowerError
+
+__all__ = [
+    "uniform_power",
+    "linear_power",
+    "mean_power",
+    "oblivious_power",
+    "is_monotone",
+    "monotonicity_violation",
+]
+
+
+def _validated(links: LinkSet, powers: np.ndarray) -> np.ndarray:
+    p = np.asarray(powers, dtype=float)
+    if p.shape != (links.m,):
+        raise PowerError(
+            f"power vector must have shape ({links.m},), got {p.shape}"
+        )
+    if not np.all(np.isfinite(p)) or np.any(p <= 0):
+        raise PowerError("powers must be positive and finite")
+    return p
+
+
+def uniform_power(links: LinkSet, power: float = 1.0) -> np.ndarray:
+    """Uniform power: every link transmits at ``power``."""
+    if power <= 0:
+        raise PowerError(f"power must be positive, got {power}")
+    return np.full(links.m, float(power))
+
+
+def linear_power(links: LinkSet, scale: float = 1.0) -> np.ndarray:
+    """Linear power ``P_v = scale * f_vv`` (all received signals equal)."""
+    return oblivious_power(links, tau=1.0, scale=scale)
+
+
+def mean_power(links: LinkSet, scale: float = 1.0) -> np.ndarray:
+    """Mean-power scheme ``P_v = scale * sqrt(f_vv)``."""
+    return oblivious_power(links, tau=0.5, scale=scale)
+
+
+def oblivious_power(
+    links: LinkSet, tau: float, scale: float = 1.0
+) -> np.ndarray:
+    """Oblivious power family ``P_v = scale * f_vv^tau``.
+
+    Monotone (in the paper's sense) exactly for ``tau in [0, 1]``.
+    """
+    if scale <= 0:
+        raise PowerError(f"scale must be positive, got {scale}")
+    return scale * links.lengths**tau
+
+
+def is_monotone(
+    links: LinkSet, powers: np.ndarray, rtol: float = 1e-9
+) -> bool:
+    """Whether ``powers`` is a monotone assignment for ``links`` (Sec. 2.4)."""
+    return monotonicity_violation(links, powers, rtol=rtol) is None
+
+
+def monotonicity_violation(
+    links: LinkSet, powers: np.ndarray, rtol: float = 1e-9
+) -> tuple[int, int] | None:
+    """A pair ``(v, w)`` with ``l_v < l_w`` violating monotonicity, or None.
+
+    The precedence order is free among equal-length links; monotonicity then
+    *forces* equal powers for equal lengths, which this check enforces.
+    """
+    p = _validated(links, powers)
+    lengths = links.lengths
+    order = np.lexsort((p, lengths))
+    sorted_len = lengths[order]
+    sorted_p = p[order]
+    sorted_sig = sorted_p / sorted_len
+    for i in range(len(order) - 1):
+        j = i + 1
+        # Condition 1: P_v <= P_w along the order.
+        if sorted_p[j] < sorted_p[i] * (1.0 - rtol):
+            return int(order[i]), int(order[j])
+        # Condition 2: received signal P_w / f_ww <= P_v / f_vv.
+        if sorted_sig[j] > sorted_sig[i] * (1.0 + rtol):
+            return int(order[i]), int(order[j])
+        # Equal lengths force equal powers (both directions must hold for
+        # every admissible tie-break).
+        if sorted_len[i] == sorted_len[j] and not np.isclose(
+            sorted_p[i], sorted_p[j], rtol=rtol
+        ):
+            return int(order[i]), int(order[j])
+    return None

@@ -1,0 +1,107 @@
+"""Raw SINR computation and thresholding (paper Sec. 2.1, Eq. (1)).
+
+These functions work directly on powers and gains, independent of the
+affectance normalisation, and are the ground truth against which the
+affectance reformulation is validated (the two agree exactly; see
+``tests/core/test_sinr.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.links import LinkSet
+from repro.errors import PowerError
+
+__all__ = [
+    "received_powers",
+    "interference",
+    "sinr",
+    "successful",
+    "is_sinr_feasible",
+]
+
+
+def _active_array(links: LinkSet, active: np.ndarray | list[int]) -> np.ndarray:
+    idx = np.asarray(active, dtype=int)
+    if idx.size and (idx.min() < 0 or idx.max() >= links.m):
+        raise PowerError("active link index out of range")
+    return idx
+
+
+def received_powers(
+    links: LinkSet, powers: np.ndarray, active: np.ndarray | list[int]
+) -> np.ndarray:
+    """``P_u * G(s_u, r_v)`` for all pairs ``u, v`` of active links.
+
+    Returns an ``(k, k)`` matrix ``R`` with ``R[u, v]`` the power of sender
+    ``u`` received at receiver ``v`` (positions index into ``active``).
+    Co-located sender/receiver pairs receive infinite power.
+    """
+    idx = _active_array(links, active)
+    p = np.asarray(powers, dtype=float)[idx]
+    decay = links.cross_decay[np.ix_(idx, idx)]
+    with np.errstate(divide="ignore"):
+        return p[:, None] / decay
+
+
+def interference(
+    links: LinkSet,
+    powers: np.ndarray,
+    active: np.ndarray | list[int],
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Noise-plus-interference at each active receiver.
+
+    Entry ``v`` is ``N + sum_{u in active, u != v} P_u G(s_u, r_v)``.
+    """
+    r = received_powers(links, powers, active)
+    signal = np.diagonal(r).copy()
+    return noise + r.sum(axis=0) - signal
+
+
+def sinr(
+    links: LinkSet,
+    powers: np.ndarray,
+    active: np.ndarray | list[int],
+    noise: float = 0.0,
+) -> np.ndarray:
+    """SINR of each active link when exactly ``active`` transmit (Eq. (1)).
+
+    With zero noise and no interferers the SINR is infinite.
+    """
+    r = received_powers(links, powers, active)
+    signal = np.diagonal(r).copy()
+    denom = noise + r.sum(axis=0) - signal
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = signal / denom
+    # 0/0 (isolated link, no noise) is a successful transmission.
+    out[np.isnan(out)] = np.inf
+    return out
+
+
+def successful(
+    links: LinkSet,
+    powers: np.ndarray,
+    active: np.ndarray | list[int],
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """Boolean success per active link: ``SINR_v >= beta`` (thresholding)."""
+    if beta <= 0:
+        raise PowerError(f"beta must be positive, got {beta}")
+    return sinr(links, powers, active, noise=noise) >= beta
+
+
+def is_sinr_feasible(
+    links: LinkSet,
+    powers: np.ndarray,
+    active: np.ndarray | list[int],
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> bool:
+    """Whether all links in ``active`` succeed simultaneously."""
+    idx = _active_array(links, active)
+    if idx.size == 0:
+        return True
+    return bool(np.all(successful(links, powers, idx, noise=noise, beta=beta)))

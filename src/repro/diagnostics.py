@@ -1,0 +1,134 @@
+"""One-call characterisation of a decay space by the paper's parameters.
+
+The paper's program is: measure your environment, then read its
+algorithmic difficulty off a handful of parameters — metricity ``zeta``
+(Def. 2.2), relaxed-triangle ``phi`` (Sec. 4.2), the Assouad fit
+``(A, C)`` (Def. 3.2), the independence dimension (Def. 4.1), and the
+fading parameter ``gamma(r)`` (Def. 3.1).  :func:`characterize` computes
+them all, flags which regime the space falls into (fading?
+bounded-growth?), and renders a human-readable report.
+
+Exact computations are used up to ``exact_limit`` nodes and greedy bounds
+beyond, mirroring the substitution policy of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.core.metricity import metricity, phi
+from repro.spaces.dimensions import fit_assouad
+from repro.spaces.fading import fading_parameter, theorem2_bound
+from repro.spaces.independence import independence_dimension
+
+__all__ = ["SpaceReport", "characterize"]
+
+
+@dataclass(frozen=True)
+class SpaceReport:
+    """Every decay-space parameter the paper's results key on."""
+
+    n: int
+    symmetric: bool
+    zeta: float
+    phi: float
+    decay_ratio: float
+    assouad_dimension: float
+    assouad_constant: float
+    independence_dimension: int
+    fading_radius: float
+    gamma: float
+    exact: bool
+
+    @property
+    def is_fading(self) -> bool:
+        """Fading space (Def. 3.3): Assouad dimension below 1.
+
+        Note this is a finite-sample verdict: packings saturate at ``n``,
+        so the fitted dimension is biased low for spaces near the
+        threshold (an ``alpha = 1`` line fits ~0.93 at n = 48 though its
+        asymptotic dimension is 1).
+        """
+        return self.assouad_dimension < 1.0
+
+    @property
+    def is_bounded_growth(self) -> bool:
+        """Bounded growth in the Sec. 4.1 sense, by rule of thumb.
+
+        Finite spaces always have finite dimensions; we flag the regime
+        where Theorem 5's machinery is meaningfully better than the
+        general bound: independence dimension within the planar range and
+        an Assouad dimension not far above the fading threshold.
+        """
+        return self.independence_dimension <= 6 and self.assouad_dimension <= 2.0
+
+    @property
+    def theorem2_bound(self) -> float | None:
+        """Theorem 2's gamma bound, when the space is fading."""
+        if not self.is_fading:
+            return None
+        return theorem2_bound(self.assouad_dimension, self.assouad_constant)
+
+    def render(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [
+            f"decay space: n={self.n}, "
+            f"{'symmetric' if self.symmetric else 'asymmetric'}, "
+            f"decay ratio {self.decay_ratio:.3g}",
+            f"  metricity zeta        = {self.zeta:.3f}",
+            f"  relaxed-triangle phi  = {self.phi:.3f}  (phi <= zeta)",
+            f"  Assouad fit           = (A={self.assouad_dimension:.3f}, "
+            f"C={self.assouad_constant:.2f})"
+            f"  -> {'fading' if self.is_fading else 'NOT fading'} space",
+            f"  independence dim      = {self.independence_dimension}"
+            f"  -> {'bounded growth' if self.is_bounded_growth else 'unbounded growth'}",
+            f"  gamma(r={self.fading_radius:.3g})       = {self.gamma:.3f}"
+            + (
+                f"  (Thm 2 bound {self.theorem2_bound:.3f})"
+                if self.theorem2_bound is not None
+                else "  (no Thm 2 bound: not fading)"
+            ),
+        ]
+        if not self.exact:
+            lines.append(
+                "  [large space: dimension/fading values are greedy bounds]"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def characterize(
+    space: DecaySpace,
+    fading_radius: float | None = None,
+    exact_limit: int = 20,
+) -> SpaceReport:
+    """Compute the full parameter report for a decay space.
+
+    ``fading_radius`` defaults to the median off-diagonal decay — a scale
+    at which roughly half the pairs are "separated".
+    """
+    exact = space.n <= exact_limit
+    radius = (
+        float(np.median(space.off_diagonal()))
+        if fading_radius is None
+        else float(fading_radius)
+    )
+    a_dim, c = fit_assouad(space, exact=exact)
+    return SpaceReport(
+        n=space.n,
+        symmetric=space.is_symmetric(),
+        zeta=metricity(space),
+        phi=phi(space),
+        decay_ratio=space.decay_ratio(),
+        assouad_dimension=a_dim,
+        assouad_constant=c,
+        independence_dimension=independence_dimension(space, exact=exact),
+        fading_radius=radius,
+        gamma=fading_parameter(space, radius, exact=exact),
+        exact=exact,
+    )

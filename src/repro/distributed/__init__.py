@@ -1,0 +1,50 @@
+"""Distributed algorithms over a slot-synchronous decay-space simulator
+(paper Sec. 3.3 and the no-regret line of Sec. 4.1)."""
+
+from repro.distributed.contention import busy_fraction, estimate_neighborhood_size
+from repro.distributed.engine import (
+    Agent,
+    Message,
+    SlotRecord,
+    SlotSimulator,
+    Transcript,
+)
+from repro.distributed.local_broadcast import (
+    LocalBroadcastAgent,
+    LocalBroadcastResult,
+    neighborhoods,
+    run_local_broadcast,
+)
+from repro.distributed.radio import reception_matrix, receptions
+from repro.distributed.stability import (
+    StabilityResult,
+    lqf_policy,
+    random_policy,
+    run_queue_simulation,
+)
+from repro.distributed.regret_capacity import (
+    RegretCapacityResult,
+    run_regret_capacity,
+)
+
+__all__ = [
+    "Agent",
+    "LocalBroadcastAgent",
+    "LocalBroadcastResult",
+    "Message",
+    "RegretCapacityResult",
+    "SlotRecord",
+    "SlotSimulator",
+    "StabilityResult",
+    "Transcript",
+    "busy_fraction",
+    "estimate_neighborhood_size",
+    "neighborhoods",
+    "reception_matrix",
+    "receptions",
+    "lqf_policy",
+    "random_policy",
+    "run_local_broadcast",
+    "run_queue_simulation",
+    "run_regret_capacity",
+]

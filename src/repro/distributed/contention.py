@@ -1,0 +1,97 @@
+"""Decay-aware contention estimation.
+
+Distributed algorithms in the annulus-argument family need each node to
+know (an estimate of) its neighborhood size to set transmission
+probabilities.  This primitive estimates it purely through the channel:
+neighbors transmit with a known probability ``p`` for ``T`` slots, and a
+listener counts busy slots.  With ``k`` neighbors the idle probability per
+slot is ``(1 - p)^k``, so ``k`` is estimated as
+``log(idle_fraction) / log(1 - p)``.
+
+"Busy" is energy detection over the decay space: the listener's received
+interference exceeds a carrier-sense threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.errors import SimulationError
+
+__all__ = ["busy_fraction", "estimate_neighborhood_size"]
+
+
+def busy_fraction(
+    space: DecaySpace,
+    listener: int,
+    candidates: np.ndarray | list[int],
+    probability: float,
+    slots: int,
+    *,
+    power: float = 1.0,
+    sense_threshold: float = 1e-9,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Fraction of slots with detected energy above the sense threshold.
+
+    ``candidates`` transmit i.i.d. with ``probability`` each slot; the
+    listener sums their received powers ``power / f(u, listener)``.
+    """
+    if not 0 < probability < 1:
+        raise SimulationError("probability must be in (0, 1)")
+    if slots < 1:
+        raise SimulationError("need at least one slot")
+    gen = rng if rng is not None else np.random.default_rng()
+    cand = np.asarray(candidates, dtype=int)
+    cand = cand[cand != listener]
+    if cand.size == 0:
+        return 0.0
+    gains = power / space.f[cand, listener]
+    busy = 0
+    for _ in range(slots):
+        active = gen.random(cand.size) < probability
+        if float(gains[active].sum()) > sense_threshold:
+            busy += 1
+    return busy / slots
+
+
+def estimate_neighborhood_size(
+    space: DecaySpace,
+    listener: int,
+    radius: float,
+    *,
+    probability: float = 0.1,
+    slots: int = 400,
+    power: float = 1.0,
+    sense_threshold: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Estimate ``|{u : f(u, listener) <= radius}|`` through the channel.
+
+    The carrier-sense threshold defaults to the weakest in-radius signal
+    (``power / radius``), so exactly the nodes within the decay radius are
+    audible.  Returns the maximum-likelihood estimate
+    ``log(idle) / log(1 - p)``; when every slot was busy the estimate
+    saturates at an upper bound derived from one pseudo-idle slot.
+    """
+    if radius <= 0:
+        raise SimulationError("radius must be positive")
+    thresh = (power / radius) * (1.0 - 1e-9) if sense_threshold is None else sense_threshold
+    candidates = np.arange(space.n)
+    fraction = busy_fraction(
+        space,
+        listener,
+        candidates,
+        probability,
+        slots,
+        power=power,
+        sense_threshold=thresh,
+        rng=rng,
+    )
+    idle = 1.0 - fraction
+    if idle <= 0.0:
+        idle = 1.0 / (slots + 1.0)  # saturated: report an upper bound
+    if idle >= 1.0:
+        return 0.0
+    return float(np.log(idle) / np.log(1.0 - probability))

@@ -1,0 +1,171 @@
+"""Dynamic packet scheduling and queue stability ([44, 2, 3], transferred).
+
+Kesselheim's dynamic packet scheduling and the Asgeirsson-Halldorsson-
+Mitra stability line study SINR networks with stochastic arrivals: packets
+arrive at links (Bernoulli, rate ``lambda_v``) and a scheduling policy
+picks a transmission set each slot; the system is *stable* when queues do
+not grow linearly.  The paper's Proposition 1 transfers these results to
+decay spaces; this module provides the substrate to observe it:
+
+* a queueing simulator over any :class:`~repro.core.links.LinkSet`,
+* two policies — *longest-queue-first with exact feasibility* (the
+  centralized reference) and *random backoff* (the distributed
+  strawman [44] improves upon).
+
+The experiment drivers sweep the arrival rate against the measured
+capacity and report the stability threshold's location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.affectance import affectance_matrix
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.errors import SimulationError
+
+__all__ = [
+    "StabilityResult",
+    "lqf_policy",
+    "random_policy",
+    "run_queue_simulation",
+]
+
+Policy = Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]
+
+
+def lqf_policy(
+    queues: np.ndarray, a: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Longest-queue-first with exact feasibility checks.
+
+    Greedily admits backlogged links in decreasing queue order while the
+    chosen set stays feasible (in-affectance at most 1 for every member).
+    """
+    order = np.argsort(-queues, kind="stable")
+    chosen: list[int] = []
+    in_aff = np.zeros(queues.shape[0])
+    for v in order:
+        v = int(v)
+        if queues[v] <= 0:
+            break
+        if in_aff[v] > 1.0:
+            continue
+        if chosen and np.any(
+            in_aff[chosen] + a[v, chosen] > 1.0
+        ):
+            continue
+        chosen.append(v)
+        in_aff += a[v]
+    return np.asarray(sorted(chosen), dtype=int)
+
+
+def random_policy(
+    queues: np.ndarray, a: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Random backoff: every backlogged link transmits w.p. 1/4.
+
+    Transmissions that fail the SINR test deliver nothing, so the policy
+    wastes the slots the structured policies exploit.
+    """
+    backlogged = np.flatnonzero(queues > 0)
+    if backlogged.size == 0:
+        return backlogged
+    active = backlogged[rng.random(backlogged.size) < 0.25]
+    if active.size == 0:
+        return active
+    in_aff = a[np.ix_(active, active)].sum(axis=0)
+    return active[in_aff <= 1.0]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Outcome of a queue simulation.
+
+    ``mean_queue_trajectory`` samples the average queue length over time
+    (one entry per ``sample_every`` slots); ``drift`` is the least-squares
+    slope of that trajectory's second half — positive drift at rate
+    ``lambda`` marks instability.
+    """
+
+    arrival_rate: float
+    slots: int
+    delivered: int
+    final_queues: np.ndarray
+    mean_queue_trajectory: np.ndarray
+
+    @property
+    def drift(self) -> float:
+        """Queue-growth slope over the second half of the run."""
+        traj = self.mean_queue_trajectory
+        half = traj[len(traj) // 2 :]
+        if half.size < 2:
+            return 0.0
+        x = np.arange(half.size, dtype=float)
+        slope, _ = np.polyfit(x, half, 1)
+        return float(slope)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered packets per slot."""
+        return self.delivered / max(self.slots, 1)
+
+
+def run_queue_simulation(
+    links: LinkSet,
+    arrival_rate: float,
+    slots: int,
+    policy: Policy = lqf_policy,
+    *,
+    noise: float = 0.0,
+    beta: float = 1.0,
+    power: float = 1.0,
+    sample_every: int = 20,
+    seed: int | np.random.Generator | None = None,
+) -> StabilityResult:
+    """Simulate Bernoulli arrivals against a scheduling policy.
+
+    Each slot: one packet arrives at each link independently with
+    probability ``arrival_rate``; the policy selects a transmission set
+    from the queue state; members whose set-internal SINR constraint holds
+    deliver one packet.  (Policies returning infeasible sets simply
+    deliver nothing on the violated links.)
+    """
+    if not 0.0 <= arrival_rate <= 1.0:
+        raise SimulationError("arrival rate must be in [0, 1]")
+    if slots < 1:
+        raise SimulationError("need at least one slot")
+    if sample_every < 1:
+        raise SimulationError("sample_every must be >= 1")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    powers = uniform_power(links, power)
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+
+    queues = np.zeros(links.m)
+    delivered = 0
+    trajectory: list[float] = []
+    for t in range(slots):
+        queues += rng.random(links.m) < arrival_rate
+        active = np.asarray(policy(queues, a, rng), dtype=int)
+        if active.size:
+            ok = a[np.ix_(active, active)].sum(axis=0) <= 1.0
+            winners = active[ok & (queues[active] > 0)]
+            queues[winners] -= 1.0
+            delivered += int(winners.size)
+        if t % sample_every == 0:
+            trajectory.append(float(queues.mean()))
+    return StabilityResult(
+        arrival_rate=float(arrival_rate),
+        slots=slots,
+        delivered=delivered,
+        final_queues=queues,
+        mean_queue_trajectory=np.asarray(trajectory),
+    )

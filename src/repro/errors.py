@@ -1,0 +1,50 @@
+"""Exception types for the :mod:`repro` package.
+
+All package-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Input-validation problems additionally derive from
+:class:`ValueError` to preserve the conventional contract.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class DecaySpaceError(ReproError, ValueError):
+    """An invalid decay matrix was supplied (wrong shape, sign, diagonal...)."""
+
+
+class LinkError(ReproError, ValueError):
+    """An invalid link or link set was supplied."""
+
+
+class PowerError(ReproError, ValueError):
+    """An invalid power assignment was supplied."""
+
+
+class InfeasibleLinkError(ReproError, ValueError):
+    """A link cannot satisfy its SINR threshold even without interference.
+
+    Raised when ``P_v / f_vv <= beta * noise`` for some link, in which case
+    the noise-affectance constant ``c_v`` of the paper (Sec. 2.4) is
+    undefined (the link fails in isolation).
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative computation failed to converge within its budget."""
+
+
+class ExactComputationError(ReproError, RuntimeError):
+    """An exact (exponential-time) computation was requested on an instance
+    that exceeds the configured size limit."""
+
+
+class GeometryError(ReproError, ValueError):
+    """An invalid geometric object (degenerate wall, empty point set...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A distributed-simulation engine invariant was violated."""

@@ -1,0 +1,11 @@
+"""Experiment drivers regenerating every quantitative claim of the paper.
+
+See DESIGN.md for the experiment index (E1-E13) and EXPERIMENTS.md for the
+recorded outcomes.  Run everything with::
+
+    python -m repro.experiments.run_all
+"""
+
+from repro.experiments.common import ExperimentTable, format_table
+
+__all__ = ["ExperimentTable", "format_table"]

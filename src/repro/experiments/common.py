@@ -1,0 +1,84 @@
+"""Experiment infrastructure: result tables and formatting.
+
+Each experiment driver returns an :class:`ExperimentTable` — the rows the
+paper's corresponding claim predicts, with *claimed* and *measured*
+columns side by side.  EXPERIMENTS.md is generated from these tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentTable", "format_table"]
+
+
+@dataclass
+class ExperimentTable:
+    """A rendered experiment: identifier, claim, columns and rows."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: object) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def cell(self, row: int, column: str) -> object:
+        """Value at a row index and column name."""
+        return self.rows[row][list(self.columns).index(column)]
+
+    def column(self, name: str) -> list[object]:
+        """All values of a named column."""
+        i = list(self.columns).index(name)
+        return [row[i] for row in self.rows]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render an experiment table as aligned monospace text."""
+    header = [str(c) for c in table.columns]
+    body = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [
+        f"[{table.experiment_id}] {table.title}",
+        f"claim: {table.claim}",
+        rule,
+        line(header),
+        rule,
+    ]
+    out.extend(line(row) for row in body)
+    out.append(rule)
+    if table.notes:
+        out.append(f"note: {table.notes}")
+    return "\n".join(out)

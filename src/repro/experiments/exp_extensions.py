@@ -1,0 +1,217 @@
+"""E14-E16: transferred-result extensions.
+
+E14 — Rayleigh fading vs thresholding ([10], quoted in Sec. 2.1 as the
+justification for the thresholding assumption): on sets the deterministic
+model declares feasible, the exact Rayleigh success probabilities stay
+bounded away from 0 — quantifying the constant factor the simulation
+argument pays.
+
+E15 — inductive independence ([45, 38], cited in Sec. 1 as itself a decay
+space parameter): measured ``rho`` of the affectance conflict graph under
+the canonical length order, across environments.
+
+E16 — aggregation/connectivity ([51, 34, 6], in the Sec. 2.3 transfer
+list) and queue stability ([44, 2, 3]): the nearest-neighbor aggregation
+schedule completes on arbitrary decay spaces, and longest-queue-first is
+stable below the measured capacity while random backoff destabilises
+earlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.conflict_graph import affectance_conflict_graph
+from repro.algorithms.connectivity import aggregation_schedule
+from repro.core.decay import DecaySpace
+from repro.core.feasibility import is_feasible
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.core.rayleigh import rayleigh_success_probabilities
+from repro.distributed.stability import (
+    lqf_policy,
+    random_policy,
+    run_queue_simulation,
+)
+from repro.experiments.common import ExperimentTable
+from repro.experiments.exp_capacity import planar_links
+from repro.geometry import (
+    Environment,
+    build_environment_space,
+    office_floorplan,
+    uniform_points,
+)
+from repro.spaces.inductive import inductive_independence
+
+__all__ = [
+    "rayleigh_gap_table",
+    "inductive_independence_table",
+    "aggregation_table",
+    "stability_table",
+]
+
+
+def rayleigh_gap_table(
+    alphas: tuple[float, ...] = (2.0, 3.0, 4.0),
+    n_links: int = 12,
+    seed: int = 61,
+) -> ExperimentTable:
+    """E14: Rayleigh success probabilities on thresholding-feasible sets."""
+    table = ExperimentTable(
+        experiment_id="E14",
+        title="Rayleigh fading vs deterministic thresholding",
+        claim="on feasible sets, per-link Rayleigh success probabilities "
+        "are Omega(1) — thresholding algorithms simulate fading models at "
+        "constant cost ([10], Sec. 2.1)",
+        columns=[
+            "alpha",
+            "|S| (alg1)",
+            "min P[success]",
+            "mean P[success]",
+            "E[successes]",
+        ],
+    )
+    rng = np.random.default_rng(seed)
+    for alpha in alphas:
+        links = planar_links(n_links, alpha, seed=int(rng.integers(1 << 30)))
+        powers = uniform_power(links)
+        selected = list(capacity_bounded_growth(links).selected)
+        probs = rayleigh_success_probabilities(links, powers, selected)
+        table.add_row(
+            alpha,
+            len(selected),
+            float(probs.min()) if probs.size else 1.0,
+            float(probs.mean()) if probs.size else 1.0,
+            float(probs.sum()),
+        )
+    return table
+
+
+def inductive_independence_table(
+    n_links: int = 12, seed: int = 67
+) -> ExperimentTable:
+    """E15: inductive independence of affectance graphs across environments."""
+    table = ExperimentTable(
+        experiment_id="E15",
+        title="Inductive independence of the affectance conflict graph",
+        claim="rho stays small under the length order on geometric and "
+        "realistic decay spaces — the parameter behind [45, 38] transfers",
+        columns=["environment", "zeta", "conflict edges", "rho"],
+    )
+    rng = np.random.default_rng(seed)
+    env = office_floorplan(3, 2, room_size=5.0, seed=rng)
+    senders = uniform_points(n_links, extent=12.0, seed=rng)
+    offsets = rng.uniform(-1.5, 1.5, size=(n_links, 2))
+    pts = np.concatenate([senders, senders + offsets])
+
+    scenarios = [
+        ("free space", build_environment_space(pts, Environment(alpha=3.0))),
+        ("office walls", build_environment_space(pts, env)),
+        (
+            "walls + shadowing",
+            build_environment_space(
+                pts, env, shadowing_sigma_db=6.0, shadowing_correlation=4.0,
+                seed=rng,
+            ),
+        ),
+    ]
+    for name, space in scenarios:
+        links = LinkSet(space, [(i, n_links + i) for i in range(n_links)])
+        graph = affectance_conflict_graph(links, threshold=0.5)
+        rho = inductive_independence(graph, links=links)
+        table.add_row(
+            name, space.metricity(), graph.number_of_edges(), rho
+        )
+    return table
+
+
+def aggregation_table(n_nodes: int = 14, seed: int = 71) -> ExperimentTable:
+    """E16a: aggregation schedules across decay spaces (Sec. 2.3 transfer)."""
+    table = ExperimentTable(
+        experiment_id="E16a",
+        title="Data aggregation over decay spaces",
+        claim="the nearest-neighbor aggregation construction of [51, 34, 6] "
+        "runs on arbitrary decay spaces; levels stay O(log n) and all slots "
+        "are SINR-feasible",
+        columns=["environment", "n", "levels", "total slots", "all feasible"],
+    )
+    rng = np.random.default_rng(seed)
+    env = office_floorplan(3, 2, room_size=5.0, seed=rng)
+    pts = uniform_points(n_nodes, extent=12.0, seed=rng)
+
+    scenarios = [
+        ("free space", build_environment_space(pts, Environment(alpha=3.0))),
+        ("office walls", build_environment_space(pts, env)),
+        (
+            "walls + shadowing",
+            build_environment_space(
+                pts, env, shadowing_sigma_db=6.0, shadowing_correlation=4.0,
+                seed=rng,
+            ),
+        ),
+    ]
+    for name, space in scenarios:
+        result = aggregation_schedule(space, sink=0)
+        ok = True
+        for level, schedule in zip(result.levels, result.schedules):
+            links = LinkSet(space, list(level))
+            powers = uniform_power(links)
+            ok = ok and all(
+                is_feasible(links, list(slot), powers)
+                for slot in schedule.slots
+            )
+        table.add_row(
+            name, space.n, len(result.levels), result.total_slots, ok
+        )
+    return table
+
+
+def stability_table(
+    n_links: int = 10,
+    slots: int = 4000,
+    seed: int = 73,
+) -> ExperimentTable:
+    """E16b: queue stability below capacity ([44, 3] transferred)."""
+    table = ExperimentTable(
+        experiment_id="E16b",
+        title="Dynamic packet scheduling: stability vs arrival rate",
+        claim="LQF is stable for arrivals below the uniform schedulable "
+        "rate 1/T and destabilises beyond it; random backoff destabilises "
+        "earlier ([44, 2, 3] via Prop. 1)",
+        columns=[
+            "load (x 1/T)",
+            "LQF drift",
+            "LQF mean queue",
+            "random drift",
+        ],
+        notes="drift = slope of the mean-queue trajectory's second half; "
+        "positive drift marks instability.",
+    )
+    # The sustainable uniform rate: all links served once every T slots,
+    # where T is the length of a full feasible schedule.  Densify the
+    # layout until there is actual contention (T >= 2), otherwise every
+    # load is trivially stable and the sweep shows nothing.
+    from repro.algorithms.scheduling import schedule_first_fit
+
+    for extent in (12.0, 8.0, 6.0, 4.0, 3.0):
+        links = planar_links(n_links, 3.0, extent=extent, seed=seed)
+        schedule_length = schedule_first_fit(links).length
+        if schedule_length >= 2:
+            break
+    per_link = 1.0 / schedule_length
+    for load in (0.5, 0.9, 1.5):
+        rate = min(load * per_link, 1.0)
+        lqf = run_queue_simulation(
+            links, rate, slots, policy=lqf_policy, seed=seed
+        )
+        rnd = run_queue_simulation(
+            links, rate, slots, policy=random_policy, seed=seed
+        )
+        table.add_row(
+            load,
+            lqf.drift,
+            float(lqf.final_queues.mean()),
+            rnd.drift,
+        )
+    return table

@@ -1,0 +1,142 @@
+"""E1 and E10: metricity of geometric and realistic spaces; zeta vs phi.
+
+E1 — Sec. 2.2's claim that geometric path loss has metricity exactly
+``alpha``, and how environmental effects (walls, shadowing, reflections)
+push the metricity of *realistic* spaces away from the nominal exponent.
+
+E10 — Sec. 4.2's relations between the metricity ``zeta`` and the
+relaxed-triangle parameter ``phi``: ``phi <= zeta`` always holds (see the
+module note in :mod:`repro.core.metricity` for the direction), with no
+converse — on the 3-point example ``phi`` stays bounded while
+``zeta = Theta(log q / log log q)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.core.metricity import metricity, phi, varphi
+from repro.experiments.common import ExperimentTable
+from repro.geometry import (
+    Environment,
+    build_environment_space,
+    office_floorplan,
+    uniform_points,
+)
+from repro.spaces.constructions import three_point_space
+
+__all__ = [
+    "geometric_metricity_table",
+    "environment_metricity_table",
+    "zeta_phi_relation_table",
+    "three_point_growth_table",
+]
+
+
+def geometric_metricity_table(
+    n: int = 16,
+    alphas: tuple[float, ...] = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0),
+    seed: int = 7,
+) -> ExperimentTable:
+    """E1a: metricity of Euclidean point sets equals the path-loss term."""
+    table = ExperimentTable(
+        experiment_id="E1a",
+        title="Metricity of geometric decay spaces",
+        claim="f = d^alpha over a metric has zeta = alpha (Sec. 2.2)",
+        columns=["alpha", "zeta (measured)", "|zeta - alpha|"],
+    )
+    points = uniform_points(n, extent=10.0, seed=seed)
+    for alpha in alphas:
+        space = DecaySpace.from_points(points, alpha)
+        z = metricity(space)
+        table.add_row(alpha, z, abs(z - alpha))
+    return table
+
+
+def environment_metricity_table(n: int = 14, seed: int = 11) -> ExperimentTable:
+    """E1b: realistic effects push zeta above the nominal alpha."""
+    table = ExperimentTable(
+        experiment_id="E1b",
+        title="Metricity of realistic environment spaces (alpha = 3)",
+        claim="environmental decay is not geometric: zeta > alpha, "
+        "asymmetry appears (Sec. 1-2)",
+        columns=["environment", "zeta", "phi", "symmetric"],
+    )
+    rng = np.random.default_rng(seed)
+    env = office_floorplan(3, 2, room_size=5.0, seed=rng)
+    pts = uniform_points(n, extent=12.0, seed=rng)
+
+    free = build_environment_space(pts, Environment(alpha=3.0))
+    table.add_row("free space", metricity(free), phi(free), free.is_symmetric())
+
+    walls = build_environment_space(pts, env)
+    table.add_row("office walls", metricity(walls), phi(walls), walls.is_symmetric())
+
+    shadow = build_environment_space(
+        pts,
+        env,
+        shadowing_sigma_db=6.0,
+        shadowing_correlation=4.0,
+        shadowing_asymmetry_db=1.5,
+        seed=rng,
+    )
+    table.add_row(
+        "walls + shadowing", metricity(shadow), phi(shadow), shadow.is_symmetric()
+    )
+
+    multi = build_environment_space(
+        pts, env, reflection_coefficient=0.4, seed=rng
+    )
+    table.add_row(
+        "walls + reflections", metricity(multi), phi(multi), multi.is_symmetric()
+    )
+    return table
+
+
+def zeta_phi_relation_table(
+    n: int = 12, trials: int = 6, seed: int = 3
+) -> ExperimentTable:
+    """E10a: phi <= zeta on every sampled space (geometric and random)."""
+    table = ExperimentTable(
+        experiment_id="E10a",
+        title="Relation between metricity parameters",
+        claim="varphi <= 2^zeta, i.e. phi <= zeta, on every decay space "
+        "(Sec. 4.2)",
+        columns=["space", "zeta", "phi", "phi <= zeta"],
+    )
+    rng = np.random.default_rng(seed)
+    for t in range(trials):
+        if t % 2 == 0:
+            pts = uniform_points(n, extent=8.0, seed=rng)
+            space = DecaySpace.from_points(pts, alpha=float(2 + t))
+            name = f"euclidean a={2 + t}"
+        else:
+            f = rng.uniform(0.5, 50.0, size=(n, n))
+            f = (f + f.T) / 2.0
+            np.fill_diagonal(f, 0.0)
+            space = DecaySpace(f)
+            name = f"random #{t}"
+        z = metricity(space)
+        p = phi(space)
+        table.add_row(name, z, p, p <= z + 1e-6)
+    return table
+
+
+def three_point_growth_table(
+    qs: tuple[float, ...] = (10.0, 100.0, 1e4, 1e6, 1e9),
+) -> ExperimentTable:
+    """E10b: the 3-point example — phi bounded, zeta ~ log q / log log q."""
+    table = ExperimentTable(
+        experiment_id="E10b",
+        title="No converse: three-point space {f_ab=1, f_bc=q, f_ac=2q}",
+        claim="varphi < 2 stays bounded while zeta = Theta(log q / log log q) "
+        "(Sec. 4.2)",
+        columns=["q", "varphi", "zeta", "log(q)/log(log(q))", "zeta / predictor"],
+    )
+    for q in qs:
+        space = three_point_space(q)
+        z = metricity(space)
+        predictor = float(np.log(q) / np.log(np.log(q)))
+        table.add_row(q, varphi(space), z, predictor, z / predictor)
+    return table

@@ -1,0 +1,191 @@
+"""E6, E7, E8: structural lemmas — strengthening, separation, amicability.
+
+E6 — Lemma B.1: a p-feasible set splits into at most ``ceil(2q/p)^2``
+q-feasible classes.
+
+E7 — Lemma B.2: every ``e^2/beta``-feasible uniform-power set is
+``1/zeta``-separated; Lemma 4.1: feasible sets split into ``O(zeta^(2A'))``
+zeta-separated classes.
+
+E8 — Theorem 4: the amicable subset ``S'`` has size ``Omega(|S|/zeta^(2A'))``
+and bounded out-affectance from every link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.amicability import amicable_subset, verify_amicability
+from repro.algorithms.capacity_opt import capacity_optimum
+from repro.algorithms.partition import (
+    lemma_b2_separation,
+    partition_eta_separated,
+    partition_feasible_to_separated,
+)
+from repro.core.decay import DecaySpace
+from repro.core.feasibility import (
+    is_k_feasible,
+    signal_strengthening,
+    strengthening_class_bound,
+)
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.experiments.common import ExperimentTable
+from repro.geometry import uniform_points
+from repro.spaces.independence import independence_dimension
+
+__all__ = [
+    "signal_strengthening_table",
+    "separation_table",
+    "amicability_table",
+    "random_feasible_links",
+]
+
+_E2 = float(np.e) ** 2
+
+
+def random_feasible_links(
+    n_links: int,
+    alpha: float,
+    extent: float,
+    link_scale: float,
+    seed: int,
+) -> tuple[LinkSet, list[int]]:
+    """A planar link set plus its exact maximum feasible subset.
+
+    Senders are uniform; each receiver sits at a random offset of expected
+    length ``link_scale`` from its sender.
+    """
+    rng = np.random.default_rng(seed)
+    senders = uniform_points(n_links, extent=extent, seed=rng)
+    angle = rng.uniform(0, 2 * np.pi, size=n_links)
+    radius = rng.uniform(0.3, 1.0, size=n_links) * link_scale
+    receivers = senders + np.stack(
+        [radius * np.cos(angle), radius * np.sin(angle)], axis=1
+    )
+    pts = np.concatenate([senders, receivers])
+    space = DecaySpace.from_points(pts, alpha)
+    links = LinkSet(space, [(i, n_links + i) for i in range(n_links)])
+    opt, _ = capacity_optimum(links, uniform_power(links))
+    return links, opt
+
+
+def signal_strengthening_table(
+    seeds: tuple[int, ...] = (1, 2, 3),
+    qs: tuple[float, ...] = (2.0, 4.0, _E2),
+) -> ExperimentTable:
+    """E6: Lemma B.1 class counts against the ceil(2q/p)^2 bound."""
+    table = ExperimentTable(
+        experiment_id="E6",
+        title="Signal strengthening (Lemma B.1)",
+        claim="a feasible (p=1) set partitions into <= ceil(2q)^2 q-feasible "
+        "classes",
+        columns=[
+            "seed",
+            "q",
+            "|S|",
+            "classes",
+            "bound",
+            "all q-feasible",
+        ],
+    )
+    for seed in seeds:
+        links, opt = random_feasible_links(
+            n_links=14, alpha=3.0, extent=12.0, link_scale=1.2, seed=seed
+        )
+        powers = uniform_power(links)
+        for q in qs:
+            classes = signal_strengthening(links, opt, powers, 1.0, q)
+            ok = all(
+                is_k_feasible(links, cls, powers, q) for cls in classes
+            )
+            table.add_row(
+                seed,
+                q,
+                len(opt),
+                len(classes),
+                strengthening_class_bound(1.0, q),
+                ok,
+            )
+    return table
+
+
+def separation_table(seeds: tuple[int, ...] = (1, 2, 3)) -> ExperimentTable:
+    """E7: Lemma B.2 separation and Lemma 4.1 class counts."""
+    table = ExperimentTable(
+        experiment_id="E7",
+        title="Separation of feasible sets (Lemmas B.2, B.3, 4.1)",
+        claim="e^2/beta-feasible uniform-power sets are 1/zeta-separated; "
+        "feasible sets split into O(zeta^(2A')) zeta-separated classes",
+        columns=[
+            "seed",
+            "zeta",
+            "B.2 input sep.",
+            "1/zeta",
+            "B.2 holds",
+            "4.1 classes",
+            "all zeta-separated",
+        ],
+    )
+    for seed in seeds:
+        links, opt = random_feasible_links(
+            n_links=14, alpha=3.0, extent=12.0, link_scale=1.2, seed=seed
+        )
+        powers = uniform_power(links)
+        z = max(links.space.metricity(), 1.0)
+        # Strengthen to an e^2-feasible subset: classes from Lemma B.1.
+        strong = signal_strengthening(links, opt, powers, 1.0, _E2)
+        strong_cls = max(strong, key=len)
+        sep = lemma_b2_separation(links, strong_cls, zeta=z)
+        classes = partition_feasible_to_separated(links, opt, zeta=z)
+        from repro.core.separation import is_separated_set, link_distance_matrix
+
+        dist = link_distance_matrix(links, z)
+        all_sep = all(is_separated_set(dist, cls, z) for cls in classes)
+        table.add_row(
+            seed,
+            z,
+            sep,
+            1.0 / z,
+            bool(sep >= 1.0 / z - 1e-9),
+            len(classes),
+            all_sep,
+        )
+    return table
+
+
+def amicability_table(seeds: tuple[int, ...] = (1, 2, 3)) -> ExperimentTable:
+    """E8: Theorem 4's amicable subset extraction."""
+    table = ExperimentTable(
+        experiment_id="E8",
+        title="Amicability of bounded-growth instances (Theorem 4)",
+        claim="every feasible S has S' with |S'| = Omega(|S|/zeta^(2A')) and "
+        "a_v(S') <= (1 + 2e^2) D for every link v",
+        columns=[
+            "seed",
+            "|S|",
+            "|S'|",
+            "ratio",
+            "max a_v(S')",
+            "(1+2e^2)D",
+            "within",
+        ],
+    )
+    for seed in seeds:
+        links, opt = random_feasible_links(
+            n_links=14, alpha=3.0, extent=12.0, link_scale=1.2, seed=seed
+        )
+        report = amicable_subset(links, opt)
+        d_dim = independence_dimension(links.space, exact=False)
+        constant = (1.0 + 2.0 * _E2) * max(d_dim, 1)
+        ok = verify_amicability(links, list(report.subset), constant)
+        table.add_row(
+            seed,
+            report.input_size,
+            len(report.subset),
+            report.size_ratio,
+            report.max_out_affectance,
+            constant,
+            ok,
+        )
+    return table

@@ -1,0 +1,115 @@
+"""Run every experiment (E1-E13) and print the tables.
+
+Usage::
+
+    python -m repro.experiments.run_all [--quick]
+
+``--quick`` shrinks instance sizes/trials for a fast sanity pass; the
+defaults reproduce the tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.common import ExperimentTable
+from repro.experiments.exp_capacity import (
+    alpha_sweep_table,
+    environment_capacity_table,
+)
+from repro.experiments.exp_distributed import (
+    local_broadcast_table,
+    regret_capacity_table,
+)
+from repro.experiments.exp_fading import fading_bound_table, star_space_table
+from repro.experiments.exp_hardness import theorem3_table, theorem6_table
+from repro.experiments.exp_metricity import (
+    environment_metricity_table,
+    geometric_metricity_table,
+    three_point_growth_table,
+    zeta_phi_relation_table,
+)
+from repro.experiments.exp_structure import (
+    amicability_table,
+    separation_table,
+    signal_strengthening_table,
+)
+from repro.experiments.exp_extensions import (
+    aggregation_table,
+    inductive_independence_table,
+    rayleigh_gap_table,
+    stability_table,
+)
+from repro.experiments.exp_theory_transfer import theory_transfer_table
+
+__all__ = ["all_experiments", "main"]
+
+
+def all_experiments(quick: bool = False) -> list[ExperimentTable]:
+    """Build every experiment table, in EXPERIMENTS.md order."""
+    if quick:
+        specs: list[Callable[[], ExperimentTable]] = [
+            lambda: geometric_metricity_table(n=10, alphas=(2.0, 3.0)),
+            lambda: environment_metricity_table(n=10),
+            lambda: theory_transfer_table(n_links=6),
+            lambda: fading_bound_table(),
+            lambda: star_space_table(ks=(4, 8)),
+            lambda: theorem3_table(sizes=(6,)),
+            lambda: signal_strengthening_table(seeds=(1,)),
+            lambda: separation_table(seeds=(1,)),
+            lambda: amicability_table(seeds=(1,)),
+            lambda: alpha_sweep_table(alphas=(3.0,), n_links=10, trials=1),
+            lambda: environment_capacity_table(n_links=8, trials=1),
+            lambda: zeta_phi_relation_table(n=8, trials=4),
+            lambda: three_point_growth_table(qs=(100.0, 1e6)),
+            lambda: theorem6_table(sizes=(6,)),
+            lambda: local_broadcast_table(trials=1, n_nodes=9),
+            lambda: regret_capacity_table(alphas=(3.0,), n_links=8, rounds=400),
+            lambda: rayleigh_gap_table(alphas=(3.0,), n_links=8),
+            lambda: inductive_independence_table(n_links=8),
+            lambda: aggregation_table(n_nodes=10),
+            lambda: stability_table(n_links=8, slots=1500),
+        ]
+    else:
+        specs = [
+            geometric_metricity_table,
+            environment_metricity_table,
+            theory_transfer_table,
+            fading_bound_table,
+            star_space_table,
+            theorem3_table,
+            signal_strengthening_table,
+            separation_table,
+            amicability_table,
+            alpha_sweep_table,
+            environment_capacity_table,
+            zeta_phi_relation_table,
+            three_point_growth_table,
+            theorem6_table,
+            local_broadcast_table,
+            regret_capacity_table,
+            rayleigh_gap_table,
+            inductive_independence_table,
+            aggregation_table,
+            stability_table,
+        ]
+    return [build() for build in specs]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small instances, fast pass"
+    )
+    args = parser.parse_args(argv)
+    for table in all_experiments(quick=args.quick):
+        print(table)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Realistic environment substrate: geometry, walls, reflections,
+shadowing, antennas and simulated measurements.
+
+These layers populate decay spaces with the non-geometric effects the
+paper targets (Sec. 1-2): decays that are not a function of distance,
+asymmetric links and measurement noise.
+"""
+
+from repro.geometry.antennas import (
+    AntennaArray,
+    cardioid_pattern,
+    omni_pattern,
+    sector_pattern,
+)
+from repro.geometry.environment import (
+    MATERIAL_LOSS_DB,
+    Environment,
+    Wall,
+    office_floorplan,
+    segments_intersect,
+)
+from repro.geometry.pathloss import (
+    db_to_decay,
+    decay_to_db,
+    dual_slope_decay,
+    free_space_decay,
+    log_distance_decay,
+)
+from repro.geometry.points import (
+    cluster_points,
+    grid_points,
+    line_points,
+    pairwise_distances,
+    rng_from,
+    separated_points,
+    uniform_points,
+)
+from repro.geometry.raytrace import (
+    mirror_point,
+    multipath_decay_matrix,
+    reflection_paths,
+)
+from repro.geometry.sampler import (
+    MeasurementModel,
+    build_environment_space,
+    measure_decay_space,
+)
+from repro.geometry.shadowing import (
+    apply_shadowing,
+    shadowing_db_matrix,
+    shadowing_field,
+)
+
+__all__ = [
+    "AntennaArray",
+    "Environment",
+    "MATERIAL_LOSS_DB",
+    "MeasurementModel",
+    "Wall",
+    "apply_shadowing",
+    "build_environment_space",
+    "cardioid_pattern",
+    "cluster_points",
+    "db_to_decay",
+    "decay_to_db",
+    "dual_slope_decay",
+    "free_space_decay",
+    "grid_points",
+    "line_points",
+    "log_distance_decay",
+    "measure_decay_space",
+    "mirror_point",
+    "multipath_decay_matrix",
+    "office_floorplan",
+    "omni_pattern",
+    "pairwise_distances",
+    "reflection_paths",
+    "rng_from",
+    "sector_pattern",
+    "segments_intersect",
+    "separated_points",
+    "shadowing_db_matrix",
+    "shadowing_field",
+    "uniform_points",
+]

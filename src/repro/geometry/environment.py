@@ -1,0 +1,218 @@
+"""Static environments: walls and obstacles with material attenuation.
+
+An :class:`Environment` holds a set of :class:`Wall` segments, each with a
+penetration loss in dB.  The decay between two points is the base path loss
+(any law from :mod:`repro.geometry.pathloss`) multiplied by the decay of
+every wall the line-of-sight segment crosses — the classical multi-wall
+(COST-231-style) indoor model.  This is the main mechanism by which our
+synthetic decay spaces become "non-geometric": link quality stops being a
+function of distance, exactly the phenomenon the paper's decay spaces
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.pathloss import db_to_decay, free_space_decay
+
+__all__ = ["Wall", "Environment", "office_floorplan", "MATERIAL_LOSS_DB"]
+
+#: Typical per-wall penetration losses (dB) for common materials.
+MATERIAL_LOSS_DB: dict[str, float] = {
+    "drywall": 3.0,
+    "glass": 2.0,
+    "wood": 4.0,
+    "brick": 8.0,
+    "concrete": 12.0,
+    "metal": 26.0,
+}
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment from ``p1`` to ``p2`` with a penetration loss in dB."""
+
+    p1: tuple[float, float]
+    p2: tuple[float, float]
+    loss_db: float = MATERIAL_LOSS_DB["drywall"]
+    material: str = "drywall"
+
+    def __post_init__(self) -> None:
+        if tuple(self.p1) == tuple(self.p2):
+            raise GeometryError(f"degenerate wall at {self.p1}")
+        if self.loss_db < 0:
+            raise GeometryError(f"wall loss must be non-negative, got {self.loss_db}")
+
+    @classmethod
+    def of(cls, x1: float, y1: float, x2: float, y2: float,
+           material: str = "drywall") -> "Wall":
+        """Build a wall from coordinates with a named material."""
+        if material not in MATERIAL_LOSS_DB:
+            raise GeometryError(
+                f"unknown material {material!r}; choose from "
+                f"{sorted(MATERIAL_LOSS_DB)}"
+            )
+        return cls((x1, y1), (x2, y2), MATERIAL_LOSS_DB[material], material)
+
+
+def _orient(ax, ay, bx, by, cx, cy):
+    """Twice the signed area of triangle abc (vectorised)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def segments_intersect(
+    p: np.ndarray, q: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Proper-intersection test between segment ``p-q`` pairs and ``a-b``.
+
+    ``p`` and ``q`` are ``(k, 2)`` arrays of segment endpoints; ``a`` and
+    ``b`` a single wall's endpoints.  Touching at an endpoint counts as a
+    crossing (a signal grazing a wall corner is attenuated) except for
+    exactly collinear overlaps, which are treated as not crossing (the wall
+    is "edge-on" to the path).
+    """
+    px, py = p[:, 0], p[:, 1]
+    qx, qy = q[:, 0], q[:, 1]
+    ax, ay = a
+    bx, by = b
+    d1 = _orient(ax, ay, bx, by, px, py)
+    d2 = _orient(ax, ay, bx, by, qx, qy)
+    d3 = _orient(px, py, qx, qy, ax, ay)
+    d4 = _orient(px, py, qx, qy, bx, by)
+    straddle_wall = (d1 * d2) <= 0
+    straddle_path = (d3 * d4) <= 0
+    noncollinear = ~((d1 == 0) & (d2 == 0))
+    return straddle_wall & straddle_path & noncollinear
+
+
+@dataclass
+class Environment:
+    """A static 2-D environment: walls plus a base path-loss law.
+
+    Parameters
+    ----------
+    walls:
+        The wall segments.
+    alpha:
+        Path-loss exponent of the base (line-of-sight) law.
+    base_law:
+        Optional override: a callable mapping a distance matrix to a decay
+        matrix.  Defaults to free-space ``d^alpha``.
+    """
+
+    walls: list[Wall] = field(default_factory=list)
+    alpha: float = 3.0
+    base_law: Callable[[np.ndarray], np.ndarray] | None = None
+
+    def add_wall(self, wall: Wall) -> None:
+        """Append a wall to the environment."""
+        self.walls.append(wall)
+
+    def wall_crossings(self, points: np.ndarray) -> np.ndarray:
+        """Total wall loss (dB) of the straight path between each pair.
+
+        Returns an ``(n, n)`` symmetric matrix of summed penetration
+        losses.
+        """
+        pts = np.asarray(points, dtype=float)
+        n = pts.shape[0]
+        ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        p = pts[ii.ravel()]
+        q = pts[jj.ravel()]
+        loss = np.zeros(n * n)
+        for wall in self.walls:
+            a = np.asarray(wall.p1, dtype=float)
+            b = np.asarray(wall.p2, dtype=float)
+            hit = segments_intersect(p, q, a, b)
+            loss += np.where(hit, wall.loss_db, 0.0)
+        out = loss.reshape(n, n)
+        np.fill_diagonal(out, 0.0)
+        return out
+
+    def base_decay(self, points: np.ndarray) -> np.ndarray:
+        """Decay matrix of the base law, before wall losses."""
+        pts = np.asarray(points, dtype=float)
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        if self.base_law is not None:
+            return self.base_law(dist)
+        return free_space_decay(dist, self.alpha)
+
+    def decay_matrix(self, points: np.ndarray) -> np.ndarray:
+        """Full decay matrix: base path loss times wall penetration decay."""
+        base = self.base_decay(points)
+        wall_db = self.wall_crossings(points)
+        return base * np.asarray(db_to_decay(wall_db), dtype=float)
+
+
+def office_floorplan(
+    rooms_x: int,
+    rooms_y: int,
+    room_size: float = 5.0,
+    material: str = "drywall",
+    door_fraction: float = 0.4,
+    exterior_material: str = "concrete",
+    seed: int | np.random.Generator | None = None,
+) -> Environment:
+    """A rooms_x-by-rooms_y office: interior walls with door gaps.
+
+    Each interior wall is split at a random position by a door gap covering
+    ``door_fraction`` of its span (signals through the gap see no wall).
+    Exterior walls are solid.  The returned environment spans
+    ``[0, rooms_x * room_size] x [0, rooms_y * room_size]``.
+    """
+    if rooms_x < 1 or rooms_y < 1:
+        raise GeometryError("need at least a 1x1 floorplan")
+    if not 0.0 <= door_fraction < 1.0:
+        raise GeometryError("door_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed) if not isinstance(
+        seed, np.random.Generator
+    ) else seed
+    env = Environment(alpha=3.0)
+    width = rooms_x * room_size
+    height = rooms_y * room_size
+
+    # Exterior shell.
+    for seg in (
+        (0, 0, width, 0),
+        (width, 0, width, height),
+        (width, height, 0, height),
+        (0, height, 0, 0),
+    ):
+        env.add_wall(Wall.of(*seg, material=exterior_material))
+
+    def _with_door(x1, y1, x2, y2):
+        """Split a wall segment around a door gap."""
+        length = np.hypot(x2 - x1, y2 - y1)
+        gap = door_fraction * length
+        if gap <= 0:
+            env.add_wall(Wall.of(x1, y1, x2, y2, material=material))
+            return
+        start = rng.uniform(0.0, length - gap)
+        ux, uy = (x2 - x1) / length, (y2 - y1) / length
+        if start > 1e-9:
+            env.add_wall(
+                Wall.of(x1, y1, x1 + ux * start, y1 + uy * start, material=material)
+            )
+        end = start + gap
+        if length - end > 1e-9:
+            env.add_wall(
+                Wall.of(x1 + ux * end, y1 + uy * end, x2, y2, material=material)
+            )
+
+    # Interior vertical walls.
+    for i in range(1, rooms_x):
+        x = i * room_size
+        for j in range(rooms_y):
+            _with_door(x, j * room_size, x, (j + 1) * room_size)
+    # Interior horizontal walls.
+    for j in range(1, rooms_y):
+        y = j * room_size
+        for i in range(rooms_x):
+            _with_door(i * room_size, y, (i + 1) * room_size, y)
+    return env

@@ -1,0 +1,100 @@
+"""Path-loss laws: decay as a function of distance.
+
+Decays in this package are *linear multiplicative factors* (the paper's
+``f``); radio engineering usually works in dB.  The converters here fix the
+convention: ``decay = 10^(dB / 10)``, so a 30 dB path loss is a decay of
+1000.
+
+Geometric (free-space) decay ``d^alpha`` yields metricity exactly
+``alpha``; the log-distance and dual-slope models are standard empirical
+laws (Goldsmith, *Wireless Communications*) whose decays remain monotone in
+distance — the environment layers (walls, reflections, shadowing) are what
+break monotonicity and geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "db_to_decay",
+    "decay_to_db",
+    "free_space_decay",
+    "log_distance_decay",
+    "dual_slope_decay",
+]
+
+
+def db_to_decay(db: np.ndarray | float) -> np.ndarray | float:
+    """Convert a path loss in dB to a multiplicative decay factor."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def decay_to_db(decay: np.ndarray | float) -> np.ndarray | float:
+    """Convert a multiplicative decay factor to dB."""
+    d = np.asarray(decay, dtype=float)
+    if np.any(d <= 0):
+        raise GeometryError("decay must be positive to convert to dB")
+    return 10.0 * np.log10(d)
+
+
+def free_space_decay(dist: np.ndarray, alpha: float) -> np.ndarray:
+    """Geometric path loss ``f = d^alpha`` (GEO-SINR).
+
+    Zero distances (the diagonal of a distance matrix) map to zero decay.
+    """
+    if alpha <= 0:
+        raise GeometryError(f"alpha must be positive, got {alpha}")
+    d = np.asarray(dist, dtype=float)
+    if np.any(d < 0):
+        raise GeometryError("distances must be non-negative")
+    return d**alpha
+
+
+def log_distance_decay(
+    dist: np.ndarray,
+    exponent: float,
+    d0: float = 1.0,
+    loss_at_d0_db: float = 0.0,
+) -> np.ndarray:
+    """Log-distance path loss: ``PL(d) = PL(d0) + 10 n log10(d / d0)`` dB.
+
+    Distances below the reference ``d0`` are clamped to ``d0`` (the model
+    is only calibrated beyond the reference distance).  Zero distances map
+    to zero decay.
+    """
+    if d0 <= 0:
+        raise GeometryError(f"reference distance must be positive, got {d0}")
+    if exponent <= 0:
+        raise GeometryError(f"path-loss exponent must be positive, got {exponent}")
+    d = np.asarray(dist, dtype=float)
+    clamped = np.maximum(d, d0)
+    db = loss_at_d0_db + 10.0 * exponent * np.log10(clamped / d0)
+    out = np.asarray(db_to_decay(db), dtype=float)
+    return np.where(d == 0.0, 0.0, out)
+
+
+def dual_slope_decay(
+    dist: np.ndarray,
+    near_exponent: float,
+    far_exponent: float,
+    breakpoint: float,
+    d0: float = 1.0,
+) -> np.ndarray:
+    """Dual-slope path loss: different exponents below/above a breakpoint.
+
+    Continuous at the breakpoint; a standard model for corridors and
+    open-plan offices where ground reflections steepen the far-field
+    decay.
+    """
+    if breakpoint <= d0:
+        raise GeometryError("breakpoint must exceed the reference distance")
+    d = np.asarray(dist, dtype=float)
+    near = log_distance_decay(d, near_exponent, d0=d0)
+    loss_at_bp_db = 10.0 * near_exponent * np.log10(breakpoint / d0)
+    far = log_distance_decay(d, far_exponent, d0=breakpoint) * np.asarray(
+        db_to_decay(loss_at_bp_db), dtype=float
+    )
+    return np.where(d <= breakpoint, near, far)

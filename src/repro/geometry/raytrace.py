@@ -1,0 +1,107 @@
+"""One-bounce specular reflections: multipath gain beyond line of sight.
+
+For each wall, the image (mirror) of the transmitter across the wall's
+supporting line defines a candidate reflected path.  The path is valid when
+the segment from the image to the receiver crosses the wall *segment*
+itself; its length is the image-to-receiver distance and its gain is the
+base law's gain at that length scaled by the wall's reflection
+coefficient.
+
+Total gain between two points is the sum of the line-of-sight gain and all
+valid single-bounce gains (power addition over independent paths).  The
+resulting decay matrix is *not* monotone in distance — a receiver close to
+a reflective wall can out-hear a nearer one — which is one of the physical
+effects the paper cites as breaking GEO-SINR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.environment import Environment, Wall, segments_intersect
+from repro.geometry.pathloss import free_space_decay
+
+__all__ = ["mirror_point", "reflection_paths", "multipath_decay_matrix"]
+
+
+def mirror_point(p: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reflect point(s) ``p`` across the line through ``a`` and ``b``.
+
+    ``p`` may be a single point or an ``(k, 2)`` array.
+    """
+    p = np.atleast_2d(np.asarray(p, dtype=float))
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    d = b - a
+    norm2 = float(d @ d)
+    if norm2 == 0.0:
+        raise GeometryError("cannot mirror across a degenerate segment")
+    t = ((p - a) @ d) / norm2
+    foot = a + t[:, None] * d
+    out = 2.0 * foot - p
+    return out[0] if out.shape[0] == 1 else out
+
+
+def reflection_paths(
+    tx: np.ndarray, rx: np.ndarray, wall: Wall
+) -> float | None:
+    """Length of the single-bounce path tx -> wall -> rx, or ``None``.
+
+    The specular path exists when the segment from the mirrored
+    transmitter to the receiver crosses the wall segment (the bounce point
+    lies on the wall).  Degenerate paths of zero length are rejected.
+    """
+    a = np.asarray(wall.p1, dtype=float)
+    b = np.asarray(wall.p2, dtype=float)
+    image = mirror_point(np.asarray(tx, dtype=float), a, b)
+    hit = segments_intersect(
+        np.atleast_2d(image), np.atleast_2d(np.asarray(rx, dtype=float)), a, b
+    )
+    if not bool(hit[0]):
+        return None
+    length = float(np.linalg.norm(np.asarray(rx, dtype=float) - image))
+    return length if length > 0 else None
+
+
+def multipath_decay_matrix(
+    points: np.ndarray,
+    env: Environment,
+    reflection_coefficient: float = 0.3,
+) -> np.ndarray:
+    """Decay matrix combining line of sight (with wall losses) and bounces.
+
+    ``reflection_coefficient`` is the fraction of power preserved by a
+    bounce (0 disables reflections).  Paths are combined by *gain
+    addition*: ``f = 1 / (G_los + sum G_bounce)``.  Bounce paths are
+    attenuated by the base law at their unfolded length; wall penetration
+    along bounce paths is ignored (first-order model).
+    """
+    if not 0.0 <= reflection_coefficient <= 1.0:
+        raise GeometryError("reflection coefficient must be in [0, 1]")
+    pts = np.asarray(points, dtype=float)
+    n = pts.shape[0]
+    base = env.decay_matrix(pts)
+    with np.errstate(divide="ignore"):
+        gain = np.where(base > 0.0, 1.0 / base, np.inf)
+
+    if reflection_coefficient > 0.0:
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                bounce_gain = 0.0
+                for wall in env.walls:
+                    length = reflection_paths(pts[i], pts[j], wall)
+                    if length is None:
+                        continue
+                    decay = float(free_space_decay(np.asarray(length), env.alpha))
+                    if decay > 0:
+                        bounce_gain += reflection_coefficient / decay
+                if bounce_gain > 0.0 and np.isfinite(gain[i, j]):
+                    gain[i, j] = gain[i, j] + bounce_gain
+
+    with np.errstate(divide="ignore"):
+        f = np.where(np.isfinite(gain), 1.0 / gain, 0.0)
+    np.fill_diagonal(f, 0.0)
+    return f

@@ -1,0 +1,124 @@
+"""Building decay spaces from environments and simulated measurements.
+
+This module stands in for the testbed measurements of the sibling paper
+[24] (see DESIGN.md, substitutions): it composes the geometry layers into a
+ground-truth decay matrix and optionally passes it through a measurement
+model (RSSI noise, quantisation, noise floor) to produce the decay space an
+algorithm would actually observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.errors import GeometryError
+from repro.geometry.antennas import AntennaArray
+from repro.geometry.environment import Environment
+from repro.geometry.pathloss import db_to_decay, decay_to_db
+from repro.geometry.points import rng_from
+from repro.geometry.raytrace import multipath_decay_matrix
+from repro.geometry.shadowing import apply_shadowing, shadowing_db_matrix
+
+__all__ = ["MeasurementModel", "measure_decay_space", "build_environment_space"]
+
+
+@dataclass(frozen=True)
+class MeasurementModel:
+    """A simulated RSSI measurement channel.
+
+    Parameters
+    ----------
+    noise_db:
+        Standard deviation of the per-ordered-pair Gaussian measurement
+        noise, in dB.
+    quantization_db:
+        RSSI register resolution; measured losses are rounded to multiples
+        of this step (0 disables quantisation).
+    floor_db:
+        Maximum measurable path loss; larger losses (including total
+        blockage) saturate at the floor, keeping the matrix finite.
+    """
+
+    noise_db: float = 1.0
+    quantization_db: float = 1.0
+    floor_db: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.noise_db < 0 or self.quantization_db < 0:
+            raise GeometryError("measurement noise/quantisation must be >= 0")
+        if self.floor_db <= 0:
+            raise GeometryError("measurement floor must be positive dB")
+
+
+def measure_decay_space(
+    space: DecaySpace,
+    model: MeasurementModel,
+    seed: int | np.random.Generator | None = None,
+) -> DecaySpace:
+    """Pass a ground-truth decay space through a measurement model.
+
+    Each ordered pair is measured independently, so the output is generally
+    asymmetric even when the truth is symmetric — matching real testbeds.
+    Decays measured at or below 0 dB clamp to a minimal positive decay.
+    """
+    rng = rng_from(seed)
+    f = space.f.copy()
+    mask = ~np.eye(space.n, dtype=bool)
+    db = np.zeros_like(f)
+    db[mask] = np.asarray(decay_to_db(f[mask]), dtype=float)
+    if model.noise_db > 0:
+        db[mask] += rng.normal(0.0, model.noise_db, size=int(mask.sum()))
+    if model.quantization_db > 0:
+        db[mask] = np.round(db[mask] / model.quantization_db) * model.quantization_db
+    db[mask] = np.clip(db[mask], -model.floor_db, model.floor_db)
+    out = np.zeros_like(f)
+    out[mask] = np.asarray(db_to_decay(db[mask]), dtype=float)
+    return DecaySpace(out, labels=space.labels)
+
+
+def build_environment_space(
+    points: np.ndarray,
+    env: Environment,
+    *,
+    reflection_coefficient: float = 0.0,
+    shadowing_sigma_db: float = 0.0,
+    shadowing_correlation: float = 1.0,
+    shadowing_asymmetry_db: float = 0.0,
+    antennas: AntennaArray | None = None,
+    measurement: MeasurementModel | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> DecaySpace:
+    """One-stop construction of a realistic decay space.
+
+    Pipeline: base path loss + wall losses -> optional one-bounce
+    reflections -> optional correlated log-normal shadowing -> optional
+    anisotropic antenna gains -> optional measurement channel.
+
+    Any stage that is disabled (its parameter left at the default) is
+    skipped, so ``build_environment_space(points, Environment(alpha=a))``
+    reproduces plain GEO-SINR.
+    """
+    rng = rng_from(seed)
+    pts = np.asarray(points, dtype=float)
+    if reflection_coefficient > 0.0:
+        f = multipath_decay_matrix(pts, env, reflection_coefficient)
+    else:
+        f = env.decay_matrix(pts)
+    if shadowing_sigma_db > 0.0 or shadowing_asymmetry_db > 0.0:
+        shadow = shadowing_db_matrix(
+            pts,
+            shadowing_sigma_db,
+            shadowing_correlation,
+            asymmetry_db=shadowing_asymmetry_db,
+            seed=rng,
+        )
+        f = apply_shadowing(f, shadow)
+    if antennas is not None:
+        f = antennas.apply(f)
+    space = DecaySpace(f)
+    if measurement is not None:
+        space = measure_decay_space(space, measurement, seed=rng)
+    return space

@@ -1,0 +1,85 @@
+"""Correlated log-normal shadowing (Gudmundson model).
+
+Shadow fading adds a zero-mean Gaussian term (in dB) to every path loss.
+Real shadowing is spatially correlated: nearby nodes see similar
+obstructions.  We model a per-node Gaussian field with exponential
+covariance ``sigma^2 * exp(-d / d_corr)`` and derive the pairwise shadowing
+of an ordered pair as the average of the endpoint field values plus an
+optional independent per-ordered-pair term (which makes the decay space
+asymmetric, as real measurements are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.pathloss import db_to_decay
+from repro.geometry.points import pairwise_distances, rng_from
+
+__all__ = ["shadowing_field", "shadowing_db_matrix", "apply_shadowing"]
+
+
+def shadowing_field(
+    points: np.ndarray,
+    sigma_db: float,
+    correlation_distance: float,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample a correlated Gaussian shadowing value (dB) per node.
+
+    Covariance between nodes at distance ``d`` is
+    ``sigma_db^2 * exp(-d / correlation_distance)``.
+    """
+    if sigma_db < 0:
+        raise GeometryError("shadowing sigma must be non-negative")
+    if correlation_distance <= 0:
+        raise GeometryError("correlation distance must be positive")
+    rng = rng_from(seed)
+    pts = np.asarray(points, dtype=float)
+    if sigma_db == 0.0:
+        return np.zeros(pts.shape[0])
+    dist = pairwise_distances(pts)
+    cov = sigma_db**2 * np.exp(-dist / correlation_distance)
+    # Numerical jitter keeps the Cholesky factorisation stable.
+    cov += np.eye(pts.shape[0]) * sigma_db**2 * 1e-9
+    chol = np.linalg.cholesky(cov)
+    return chol @ rng.standard_normal(pts.shape[0])
+
+
+def shadowing_db_matrix(
+    points: np.ndarray,
+    sigma_db: float,
+    correlation_distance: float,
+    asymmetry_db: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Pairwise shadowing matrix in dB.
+
+    Entry ``(p, q)`` is ``(field[p] + field[q]) / 2`` plus an independent
+    ``N(0, asymmetry_db^2)`` term per *ordered* pair.  The diagonal is
+    zero.
+    """
+    rng = rng_from(seed)
+    field = shadowing_field(points, sigma_db, correlation_distance, seed=rng)
+    n = field.shape[0]
+    sym = (field[:, None] + field[None, :]) / 2.0
+    if asymmetry_db > 0:
+        sym = sym + rng.normal(0.0, asymmetry_db, size=(n, n))
+    np.fill_diagonal(sym, 0.0)
+    return sym
+
+
+def apply_shadowing(
+    decay: np.ndarray,
+    shadow_db: np.ndarray,
+) -> np.ndarray:
+    """Multiply a decay matrix by log-normal shadowing given in dB.
+
+    Zero decays (the diagonal) stay zero.
+    """
+    decay = np.asarray(decay, dtype=float)
+    factor = np.asarray(db_to_decay(shadow_db), dtype=float)
+    out = decay * factor
+    np.fill_diagonal(out, 0.0)
+    return out

@@ -1,0 +1,23 @@
+"""Lower-bound constructions (paper Sec. 4 and appendices A, C)."""
+
+from repro.hardness.equidecay import EquiDecayInstance, equidecay_instance
+from repro.hardness.reductions import (
+    capacity_equals_mis,
+    edge_pairs_power_infeasible,
+    independence_number,
+    maximum_independent_set,
+    verify_feasible_iff_independent,
+)
+from repro.hardness.twolines import TwoLineInstance, twoline_instance
+
+__all__ = [
+    "EquiDecayInstance",
+    "TwoLineInstance",
+    "capacity_equals_mis",
+    "edge_pairs_power_infeasible",
+    "equidecay_instance",
+    "independence_number",
+    "maximum_independent_set",
+    "twoline_instance",
+    "verify_feasible_iff_independent",
+]

@@ -1,0 +1,117 @@
+"""Theorem 3: the equi-decay hardness construction from Max Independent Set.
+
+Given a graph ``G`` on ``n`` vertices, build one unit-decay link per vertex
+such that a set of links is SINR-feasible — under uniform power, and under
+*any* power assignment — exactly when the corresponding vertex set is
+independent.  Metricity is ``Theta(lg n)``, so the ``n^(1-o(1))`` MIS
+inapproximability becomes ``2^(zeta(1-o(1)))`` for CAPACITY.
+
+.. note:: **Erratum.**  The paper's appendix sets the cross decays to 2 for
+   edges and ``1/n`` for non-edges.  With unit signal decay those values
+   give edge affectance ``1/2`` (feasible pairs) and non-edge affectance
+   ``n`` (infeasible sets) — the reverse of what the proof's own
+   computations require.  We use the corrected values: cross decay
+   ``1 - delta < 1`` on edges (affectance ``> 1`` and affectance *product*
+   ``> 1``, so no power assignment rescues an edge pair, mirroring the
+   Theorem 6 argument) and ``n`` on non-edges (affectance ``1/n``, so any
+   independent set sums to ``(n-1)/n < 1``).  The metricity bound
+   ``zeta <= lg(max/min) = lg(2n)`` is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.core.links import Link, LinkSet
+from repro.errors import ReproError
+
+__all__ = ["EquiDecayInstance", "equidecay_instance"]
+
+
+@dataclass(frozen=True)
+class EquiDecayInstance:
+    """The Theorem-3 instance built from a graph.
+
+    Attributes
+    ----------
+    space:
+        The 2n-node decay space (senders then receivers).
+    links:
+        Link ``i`` corresponds to graph vertex ``i``.
+    graph:
+        The source graph (with vertices relabelled ``0..n-1``).
+    """
+
+    space: DecaySpace
+    links: LinkSet
+    graph: nx.Graph
+
+    @property
+    def n(self) -> int:
+        """Number of links (= graph vertices)."""
+        return self.links.m
+
+    def sender(self, i: int) -> int:
+        """Space index of link ``i``'s sender."""
+        return i
+
+    def receiver(self, i: int) -> int:
+        """Space index of link ``i``'s receiver."""
+        return i + self.n
+
+
+def equidecay_instance(
+    graph: nx.Graph,
+    edge_decay: float = 0.5,
+    filler_decay: float = 1.0,
+) -> EquiDecayInstance:
+    """Build the (corrected) Theorem-3 instance from a graph.
+
+    Parameters
+    ----------
+    graph:
+        Any simple graph; vertices are relabelled to ``0..n-1``.
+    edge_decay:
+        Cross decay between edge-linked links; must lie in ``(0, 1)`` so
+        that edge pairs are infeasible under every power assignment.
+    filler_decay:
+        Decay used for the sender-sender and receiver-receiver pairs, which
+        are immaterial to feasibility but must be positive for the space to
+        be valid.
+    """
+    if graph.number_of_nodes() < 2:
+        raise ReproError("construction needs at least two vertices")
+    if not 0 < edge_decay < 1:
+        raise ReproError(
+            f"edge decay must be in (0, 1) for hardness, got {edge_decay}"
+        )
+    if filler_decay <= 0:
+        raise ReproError(f"filler decay must be positive, got {filler_decay}")
+
+    g = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    n = g.number_of_nodes()
+    nonedge_decay = float(n)
+
+    size = 2 * n
+    f = np.full((size, size), filler_decay)
+    # Cross decays between sender i (index i) and receiver j (index n + j).
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                value = 1.0
+            elif g.has_edge(i, j):
+                value = edge_decay
+            else:
+                value = nonedge_decay
+            f[i, n + j] = value
+            f[n + j, i] = value
+    np.fill_diagonal(f, 0.0)
+
+    labels = [f"s{i}" for i in range(n)] + [f"r{i}" for i in range(n)]
+    space = DecaySpace(f, labels=labels)
+    links = LinkSet(space, [Link(i, n + i) for i in range(n)])
+    return EquiDecayInstance(space=space, links=links, graph=g)

@@ -1,0 +1,123 @@
+"""Verification harness for the MIS <-> CAPACITY reductions.
+
+Both hardness constructions (Theorems 3 and 6) claim a one-to-one
+correspondence between feasible link sets and independent vertex sets —
+under uniform power and under arbitrary power control.  These helpers
+verify the correspondence exhaustively on small instances and via the
+pairwise affectance-product argument on larger ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+
+from repro.core.affectance import affectance_matrix
+from repro.core.feasibility import is_feasible
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.errors import ExactComputationError
+
+__all__ = [
+    "independence_number",
+    "maximum_independent_set",
+    "verify_feasible_iff_independent",
+    "edge_pairs_power_infeasible",
+    "capacity_equals_mis",
+]
+
+
+def maximum_independent_set(graph: nx.Graph) -> list[int]:
+    """Exact MIS via maximum clique of the complement graph."""
+    comp = nx.complement(graph)
+    clique, _ = nx.max_weight_clique(comp, weight=None)
+    return sorted(int(v) for v in clique)
+
+
+def independence_number(graph: nx.Graph) -> int:
+    """Exact independence number of a graph."""
+    return len(maximum_independent_set(graph))
+
+
+def verify_feasible_iff_independent(
+    links: LinkSet,
+    graph: nx.Graph,
+    *,
+    beta: float = 1.0,
+    noise: float = 0.0,
+    max_exhaustive: int = 14,
+) -> bool:
+    """Exhaustively check: S feasible (uniform power) iff S independent.
+
+    Link ``i`` corresponds to vertex ``i``.  Raises
+    :class:`ExactComputationError` beyond ``max_exhaustive`` links (use the
+    pairwise check instead).
+    """
+    n = links.m
+    if n > max_exhaustive:
+        raise ExactComputationError(
+            f"exhaustive verification limited to {max_exhaustive} links"
+        )
+    powers = uniform_power(links)
+    vertices = list(range(n))
+    for k in range(1, n + 1):
+        for combo in itertools.combinations(vertices, k):
+            independent = not any(
+                graph.has_edge(u, v) for u, v in itertools.combinations(combo, 2)
+            )
+            feasible = is_feasible(links, list(combo), powers, noise=noise, beta=beta)
+            if independent != feasible:
+                return False
+    return True
+
+
+def edge_pairs_power_infeasible(
+    links: LinkSet,
+    graph: nx.Graph,
+    *,
+    beta: float = 1.0,
+    noise: float = 0.0,
+) -> bool:
+    """Check the power-control argument on every edge pair.
+
+    For vertices ``(u, v)`` joined by an edge, the affectance product under
+    any power assignment is at least
+    ``beta^2 * f_uu * f_vv / (f_uv * f_vu)``; when that exceeds 1, no power
+    assignment can make the pair feasible.  Returns True when the bound
+    exceeds 1 on every edge (and, as a sanity cross-check, the pair is also
+    infeasible under uniform power).
+    """
+    cross = links.cross_decay
+    powers = uniform_power(links)
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    for u, v in graph.edges:
+        product_bound = (beta**2) * cross[u, u] * cross[v, v] / (
+            cross[u, v] * cross[v, u]
+        )
+        if product_bound <= 1.0:
+            return False
+        if max(a[u, v], a[v, u]) <= 1.0:
+            return False
+    return True
+
+
+def capacity_equals_mis(
+    links: LinkSet,
+    graph: nx.Graph,
+    *,
+    beta: float = 1.0,
+    noise: float = 0.0,
+    limit: int = 20,
+) -> tuple[int, int]:
+    """Exact CAPACITY size vs exact MIS size (they must agree).
+
+    Returns the pair ``(capacity, mis)``; callers assert equality.
+    """
+    from repro.algorithms.capacity_opt import capacity_optimum
+
+    _, cap = capacity_optimum(
+        links, uniform_power(links), noise=noise, beta=beta, limit=limit
+    )
+    return cap, independence_number(graph)

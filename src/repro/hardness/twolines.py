@@ -1,0 +1,129 @@
+"""Theorem 6: the two-line construction — hardness in bounded growth.
+
+Senders sit on the vertical segment ``x = 0``, receivers on ``x = n``,
+with ``s_i = (0, i)`` and ``r_i = (n, i)``.  Within a line, decays follow
+the usual distance law with exponent ``alpha' = alpha - 1``; across the
+lines only two decay values occur: ``n^alpha'`` (signal, and edges get
+``n^alpha' - delta``) and ``n^(alpha'+1)`` (non-edges).
+
+Feasible link sets correspond one-to-one with independent sets of the
+source graph — under uniform power and under arbitrary power control —
+while the space remains *bounded growth* (doubling dimension at most 2,
+independence dimension 3) and the relaxed-triangle parameter satisfies
+``varphi = O(n)``.  Hence CAPACITY is ``2^(phi(1-o(1)))``-hard even in
+bounded-growth decay spaces, and large decays per se are not the source of
+hardness — *differences* in decay among spatially close points are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.core.links import Link, LinkSet
+from repro.errors import ReproError
+
+__all__ = ["TwoLineInstance", "twoline_instance"]
+
+
+@dataclass(frozen=True)
+class TwoLineInstance:
+    """The Theorem-6 instance built from a graph.
+
+    ``positions`` carries the planar embedding (senders then receivers) so
+    growth properties can be inspected geometrically as well.
+    """
+
+    space: DecaySpace
+    links: LinkSet
+    graph: nx.Graph
+    positions: np.ndarray
+    alpha: float
+    delta: float
+
+    @property
+    def n(self) -> int:
+        """Number of links (= graph vertices)."""
+        return self.links.m
+
+    @property
+    def alpha_prime(self) -> float:
+        """The within-line exponent ``alpha' = alpha - 1``."""
+        return self.alpha - 1.0
+
+
+def twoline_instance(
+    graph: nx.Graph,
+    alpha: float = 2.0,
+    delta: float = 0.25,
+) -> TwoLineInstance:
+    """Build the Theorem-6 two-line instance from a graph.
+
+    Parameters
+    ----------
+    graph:
+        Any simple graph; vertices relabelled ``0..n-1``.
+    alpha:
+        The nominal path-loss term, ``alpha >= 1``; within-line decays are
+        distances to the power ``alpha' = alpha - 1``.
+    delta:
+        The edge perturbation, in ``(0, 1/2)``.
+    """
+    if graph.number_of_nodes() < 2:
+        raise ReproError("construction needs at least two vertices")
+    if alpha < 1.0:
+        raise ReproError(f"alpha must be at least 1, got {alpha}")
+    if not 0 < delta < 0.5:
+        raise ReproError(f"delta must be in (0, 1/2), got {delta}")
+
+    g = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    n = g.number_of_nodes()
+    a_prime = alpha - 1.0
+    signal = float(n) ** a_prime
+    nonedge = float(n) ** (a_prime + 1.0)
+    if signal - delta <= 0:  # pragma: no cover - needs n^0 - delta <= 0
+        raise ReproError("delta too large for the signal decay")
+
+    size = 2 * n
+    f = np.zeros((size, size))
+    # Within-line decays (senders i at rows/cols 0..n-1, receivers n..2n-1):
+    # distance |i - j| to the power alpha'.
+    idx = np.arange(n, dtype=float)
+    within = np.abs(idx[:, None] - idx[None, :]) ** a_prime
+    np.fill_diagonal(within, 0.0)
+    f[:n, :n] = within
+    f[n:, n:] = within
+    # Cross decays.
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                value = signal
+            elif g.has_edge(i, j):
+                value = signal - delta
+            else:
+                value = nonedge
+            f[i, n + j] = value
+            f[n + j, i] = value
+    np.fill_diagonal(f, 0.0)
+
+    ys = np.arange(n, dtype=float)
+    positions = np.concatenate(
+        [
+            np.stack([np.zeros(n), ys], axis=1),
+            np.stack([np.full(n, float(n)), ys], axis=1),
+        ]
+    )
+    labels = [f"s{i}" for i in range(n)] + [f"r{i}" for i in range(n)]
+    space = DecaySpace(f, labels=labels)
+    links = LinkSet(space, [Link(i, n + i) for i in range(n)])
+    return TwoLineInstance(
+        space=space,
+        links=links,
+        graph=g,
+        positions=positions,
+        alpha=float(alpha),
+        delta=float(delta),
+    )

@@ -1,0 +1,77 @@
+"""Persistence for decay spaces and link sets.
+
+Measured decay matrices are the natural interchange artefact of the
+paper's methodology (Sec. 2.2: spaces are "relatively easily obtained by
+measurements").  This module stores them as ``.npz`` archives together
+with optional labels and link endpoints, so field measurements and
+synthetic environments round-trip identically.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.errors import ReproError
+
+__all__ = ["save_space", "load_space", "save_links", "load_links"]
+
+_FORMAT_VERSION = 1
+
+
+def save_space(path: str | pathlib.Path, space: DecaySpace) -> None:
+    """Write a decay space to an ``.npz`` archive."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "decay": space.f,
+    }
+    if space.labels is not None:
+        payload["labels"] = np.array(space.labels, dtype=np.str_)
+    np.savez_compressed(pathlib.Path(path), **payload)
+
+
+def load_space(path: str | pathlib.Path) -> DecaySpace:
+    """Read a decay space written by :func:`save_space` (re-validated)."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as archive:
+        if "decay" not in archive:
+            raise ReproError(f"{path}: not a decay-space archive")
+        version = int(archive["format_version"][0])
+        if version > _FORMAT_VERSION:
+            raise ReproError(
+                f"{path}: format version {version} is newer than supported "
+                f"({_FORMAT_VERSION})"
+            )
+        labels = (
+            [str(x) for x in archive["labels"]] if "labels" in archive else None
+        )
+        return DecaySpace(archive["decay"], labels=labels)
+
+
+def save_links(path: str | pathlib.Path, links: LinkSet) -> None:
+    """Write a link set (decay space + endpoints) to an ``.npz`` archive."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "decay": links.space.f,
+        "senders": links.senders,
+        "receivers": links.receivers,
+    }
+    if links.space.labels is not None:
+        payload["labels"] = np.array(links.space.labels, dtype=np.str_)
+    np.savez_compressed(pathlib.Path(path), **payload)
+
+
+def load_links(path: str | pathlib.Path) -> LinkSet:
+    """Read a link set written by :func:`save_links` (re-validated)."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as archive:
+        for key in ("decay", "senders", "receivers"):
+            if key not in archive:
+                raise ReproError(f"{path}: not a link-set archive")
+        labels = (
+            [str(x) for x in archive["labels"]] if "labels" in archive else None
+        )
+        space = DecaySpace(archive["decay"], labels=labels)
+        pairs = list(zip(archive["senders"].tolist(), archive["receivers"].tolist()))
+        return LinkSet(space, pairs)

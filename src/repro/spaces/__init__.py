@@ -1,0 +1,87 @@
+"""Metric-like structure of decay spaces (paper Sec. 3 and 4.1).
+
+Quasi-metrics, packings and dimensions (Assouad / doubling), independence
+dimension and guards, the fading parameter with Theorem 2's bound, and the
+paper's named example constructions.
+"""
+
+from repro.spaces._mwc import greedy_weight_clique, max_weight_clique
+from repro.spaces.constructions import (
+    line_space,
+    star_space,
+    three_point_space,
+    uniform_space,
+    welzl_space,
+)
+from repro.spaces.dimensions import (
+    assouad_dimension,
+    fit_assouad,
+    densest_packing,
+    doubling_constant,
+    doubling_dimension,
+    is_fading_space,
+    is_packing,
+    packing_number,
+)
+from repro.spaces.fading import (
+    fading_parameter,
+    fading_value,
+    is_r_separated,
+    max_interference_set,
+    theorem2_bound,
+)
+from repro.spaces.inductive import (
+    inductive_color_bound,
+    inductive_independence,
+    is_inductive_independent,
+)
+from repro.spaces.independence import (
+    greedy_guards,
+    independence_dimension,
+    is_guard_set,
+    is_independent_wrt,
+    max_independent_wrt,
+    minimum_guards,
+    planar_sector_guards,
+)
+from repro.spaces.quasimetric import (
+    QuasiMetric,
+    is_triangle_satisfied,
+    triangle_violations,
+)
+
+__all__ = [
+    "QuasiMetric",
+    "assouad_dimension",
+    "densest_packing",
+    "doubling_constant",
+    "doubling_dimension",
+    "fading_parameter",
+    "fading_value",
+    "fit_assouad",
+    "greedy_guards",
+    "greedy_weight_clique",
+    "independence_dimension",
+    "inductive_color_bound",
+    "inductive_independence",
+    "is_inductive_independent",
+    "is_fading_space",
+    "is_guard_set",
+    "is_independent_wrt",
+    "is_packing",
+    "is_r_separated",
+    "is_triangle_satisfied",
+    "line_space",
+    "max_independent_wrt",
+    "max_interference_set",
+    "max_weight_clique",
+    "minimum_guards",
+    "packing_number",
+    "planar_sector_guards",
+    "star_space",
+    "theorem2_bound",
+    "three_point_space",
+    "triangle_violations",
+    "uniform_space",
+    "welzl_space",
+]

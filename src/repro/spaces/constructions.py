@@ -1,0 +1,139 @@
+"""Named decay-space constructions from the paper.
+
+* :func:`star_space` — Sec. 3.4's star: unbounded doubling dimension yet a
+  bounded fading value at the far leaf (fading spaces do not characterise
+  bounded fading).
+* :func:`welzl_space` — Welzl's construction quoted in Sec. 4.1: doubling
+  dimension 1 but unbounded independence dimension.
+* :func:`three_point_space` — Sec. 4.2's {a, b, c} example separating the
+  metricity ``zeta`` from the relaxed-triangle parameter ``phi``:
+  ``phi`` stays bounded while ``zeta = Theta(log q / log log q)``.
+* :func:`uniform_space` — the uniform metric: independence dimension 1,
+  unbounded doubling dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+
+__all__ = [
+    "star_space",
+    "welzl_space",
+    "three_point_space",
+    "uniform_space",
+    "line_space",
+]
+
+
+def star_space(k: int, r: float) -> DecaySpace:
+    """The star metric of Sec. 3.4, with decay equal to distance.
+
+    Node 0 is the center ``x_0``; nodes ``1..k`` are leaves at distance
+    ``k^2``; node ``k+1`` is the near leaf ``x_{-1}`` at distance ``r``.
+    Leaf-to-leaf distances go through the center (path metric), so the
+    space is a genuine metric with ``zeta = 1``.
+
+    The doubling dimension grows like ``lg k`` (all far leaves are mutually
+    ``2 k^2`` apart), yet the total interference at ``x_{-1}`` from the far
+    leaves is ``k * (1/k^2) = 1/k``: the fading value at the interesting
+    separation scale stays bounded even though the space is not fading.
+    """
+    if k < 1:
+        raise ValueError(f"star needs at least one far leaf, got k={k}")
+    if r <= 0:
+        raise ValueError(f"near-leaf distance must be positive, got {r}")
+    n = k + 2
+    far = float(k) ** 2
+    d = np.zeros((n, n))
+    # Center (index 0) to far leaves 1..k and near leaf k+1.
+    d[0, 1 : k + 1] = far
+    d[1 : k + 1, 0] = far
+    d[0, k + 1] = r
+    d[k + 1, 0] = r
+    # Leaf-to-leaf: through the center.
+    for i in range(1, n):
+        for j in range(1, n):
+            if i != j:
+                d[i, j] = d[i, 0] + d[0, j]
+    labels = ["x0"] + [f"x{i}" for i in range(1, k + 1)] + ["x-1"]
+    return DecaySpace(d, labels=labels)
+
+
+def welzl_space(n: int, eps: float = 0.25) -> DecaySpace:
+    """Welzl's metric (Sec. 4.1): doubling dim 1, independence dim ``n``.
+
+    Points ``v_{-1}, v_0, ..., v_n`` with ``d(v_{-1}, v_i) = 2^i - eps``
+    and ``d(v_j, v_i) = 2^i`` for ``j < i`` (indices other than -1).
+    Requires ``0 < eps <= 1/4``.  Index 0 of the returned space is
+    ``v_{-1}``; index ``i + 1`` is ``v_i``.
+
+    Every ``V \\ {v_{-1}}`` is independent with respect to ``v_{-1}``:
+    each ``v_i`` lies (just) closer to ``v_{-1}`` than to any other
+    ``v_j``, while any ball can be covered by two balls of half the
+    radius.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not 0 < eps <= 0.25:
+        raise ValueError(f"need 0 < eps <= 1/4, got {eps}")
+    size = n + 2  # v_{-1} plus v_0..v_n
+    d = np.zeros((size, size))
+    for i in range(0, n + 1):
+        di = 2.0**i - eps
+        d[0, i + 1] = di
+        d[i + 1, 0] = di
+    for i in range(0, n + 1):
+        for j in range(0, n + 1):
+            if i != j:
+                big = max(i, j)
+                d[i + 1, j + 1] = 2.0**big
+    labels = ["v-1"] + [f"v{i}" for i in range(0, n + 1)]
+    return DecaySpace(d, labels=labels)
+
+
+def three_point_space(q: float) -> DecaySpace:
+    """Sec. 4.2's 3-point space: ``f_ab = 1``, ``f_bc = q``, ``f_ac = 2q``.
+
+    For large ``q`` the relaxed-triangle parameter stays bounded
+    (``varphi < 2``) while the metricity grows as
+    ``Theta(log q / log log q)`` — no converse of ``phi <= zeta`` exists.
+    """
+    if q <= 1:
+        raise ValueError(f"need q > 1 for the example to bind, got {q}")
+    f = np.array(
+        [
+            [0.0, 1.0, 2.0 * q],
+            [1.0, 0.0, q],
+            [2.0 * q, q, 0.0],
+        ]
+    )
+    return DecaySpace(f, labels=["a", "b", "c"])
+
+
+def uniform_space(n: int, c: float = 1.0) -> DecaySpace:
+    """The uniform metric: every distinct pair at decay ``c``.
+
+    Independence dimension 1 (no two points can both be strictly closer to
+    a center than to each other), unbounded doubling dimension.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if c <= 0:
+        raise ValueError(f"need positive decay, got {c}")
+    f = np.full((n, n), float(c))
+    np.fill_diagonal(f, 0.0)
+    return DecaySpace(f)
+
+
+def line_space(n: int, spacing: float = 1.0, alpha: float = 1.0) -> DecaySpace:
+    """Equally spaced points on a line with geometric decay ``d^alpha``.
+
+    A convenient doubling (dimension ~1 in distance) test space.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    xs = np.arange(n, dtype=float) * spacing
+    dist = np.abs(xs[:, None] - xs[None, :])
+    return DecaySpace.from_distances(dist, alpha)

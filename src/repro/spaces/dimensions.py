@@ -1,0 +1,248 @@
+"""Packings, Assouad dimension and doubling dimension (paper Sec. 3.1).
+
+Definitions (from the paper):
+
+* the *t-ball* ``B(y, t)`` contains the points whose decay towards ``y`` is
+  below ``t``;
+* a set ``Y`` is a *t-packing* when ``f(x, y) > 2t`` for every pair of
+  distinct members (so the t-balls around members are disjoint);
+* the *packing number* ``P(B, t)`` is the size of the largest t-packing
+  inside a body ``B``;
+* ``g(q) = max_x max_r P(B(x, r), r/q)`` is the densest q-packing, and the
+  *Assouad dimension with parameter C* is ``A(D) = max_q log_q(g(q)/C)``;
+* a *fading space* has ``A(D) < 1``.
+
+Exact packing numbers are maximum-independent-set computations (NP-hard in
+general); we provide exact branch-and-bound for small instances and greedy
+lower bounds elsewhere, mirroring the substitution policy in DESIGN.md.
+
+The classical *doubling dimension* of the induced quasi-metric (used by
+Lemma B.3 / Theorem 4 as ``A'``) is also estimated here via greedy covers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.errors import ExactComputationError
+from repro.spaces._mwc import EXACT_LIMIT, greedy_weight_clique, max_weight_clique
+
+__all__ = [
+    "is_packing",
+    "packing_number",
+    "densest_packing",
+    "assouad_dimension",
+    "doubling_constant",
+    "doubling_dimension",
+    "is_fading_space",
+]
+
+
+def _pair_min(f: np.ndarray) -> np.ndarray:
+    """min(f(x,y), f(y,x)) — the binding direction for packing constraints."""
+    return np.minimum(f, f.T)
+
+
+def is_packing(space: DecaySpace, nodes: np.ndarray | list[int], t: float) -> bool:
+    """Whether ``nodes`` is a t-packing: ``f(x, y) > 2t`` for all pairs."""
+    idx = np.asarray(nodes, dtype=int)
+    if idx.size < 2:
+        return True
+    sub = _pair_min(space.f)[np.ix_(idx, idx)]
+    k = idx.size
+    sub = sub + np.where(np.eye(k, dtype=bool), np.inf, 0.0)
+    return bool(np.all(sub > 2.0 * t))
+
+
+def packing_number(
+    space: DecaySpace,
+    body: np.ndarray | list[int],
+    t: float,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+) -> int:
+    """The packing number ``P(B, t)`` of the body ``B`` (a set of nodes).
+
+    With ``exact=True`` this is the true maximum (branch and bound over the
+    compatibility graph: nodes of ``B``, edges between pairs with
+    ``f > 2t`` in both directions); otherwise a greedy lower bound.
+    """
+    idx = np.asarray(body, dtype=int)
+    if idx.size == 0:
+        return 0
+    sub = _pair_min(space.f)[np.ix_(idx, idx)]
+    adj = sub > 2.0 * t
+    np.fill_diagonal(adj, False)
+    weights = np.ones(idx.size)
+    if exact:
+        nodes, _ = max_weight_clique(adj, weights, limit=limit)
+    else:
+        nodes, _ = greedy_weight_clique(adj, weights)
+    return len(nodes)
+
+
+def _candidate_radii(space: DecaySpace, center: int) -> np.ndarray:
+    """Distinct meaningful ball radii at a center: just above each decay."""
+    col = np.unique(space.f[:, center])
+    col = col[col > 0]
+    return col * (1.0 + 1e-9)
+
+
+def densest_packing(
+    space: DecaySpace,
+    q: float,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+    centers: np.ndarray | list[int] | None = None,
+) -> int:
+    """``g(q) = max_x max_r P(B(x, r), r/q)`` over the given centers.
+
+    Only finitely many radii matter on a finite space: one just above each
+    distinct decay towards the center.
+    """
+    if q <= 1:
+        raise ValueError(f"packing scale q must exceed 1, got {q}")
+    cs = range(space.n) if centers is None else [int(c) for c in centers]
+    best = 0
+    for x in cs:
+        for r in _candidate_radii(space, x):
+            ball = space.ball(x, r)
+            if ball.size <= best:
+                continue
+            best = max(
+                best, packing_number(space, ball, r / q, exact=exact, limit=limit)
+            )
+    return best
+
+
+def assouad_dimension(
+    space: DecaySpace,
+    qs: np.ndarray | list[float] | None = None,
+    constant: float = 1.0,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+    centers: np.ndarray | list[int] | None = None,
+) -> float:
+    """The Assouad dimension estimate ``max_q log_q(g(q) / C)`` (Def. 3.2).
+
+    On a finite space the maximum over all real ``q`` is approximated over
+    the supplied grid ``qs`` (default: powers of 2 from 2 to 32).  Larger
+    grids tighten the estimate from below.
+    """
+    if constant <= 0:
+        raise ValueError(f"Assouad constant must be positive, got {constant}")
+    grid = np.asarray(qs if qs is not None else [2.0, 4.0, 8.0, 16.0, 32.0])
+    best = 0.0
+    for q in grid:
+        g = densest_packing(space, float(q), exact=exact, limit=limit, centers=centers)
+        if g <= 0:
+            continue
+        value = np.log(g / constant) / np.log(q)
+        best = max(best, float(value))
+    return best
+
+
+def fit_assouad(
+    space: DecaySpace,
+    qs: np.ndarray | list[float] | None = None,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+    centers: np.ndarray | list[int] | None = None,
+) -> tuple[float, float]:
+    """Fit ``(A, C)`` with ``g(q) <= C * q^A`` over the sampled scales.
+
+    ``A`` is the least-squares slope of ``log g(q)`` against ``log q``
+    (clamped at 0) and ``C`` the smallest constant making the bound hold on
+    every sampled ``q``.  This is the honest finite-data counterpart of
+    Definition 3.2: the definition's own constant ``C`` exists precisely to
+    absorb the small-scale packing excess that a raw
+    ``max_q log_q g(q)`` with ``C = 1`` over-counts.
+
+    The default grid spans powers of two up to the space's decay ratio
+    (capped at 256), since annulus arguments (Thm. 2) invoke the packing
+    bound at every scale ``t`` up to that ratio.
+    """
+    if qs is None:
+        top = min(256.0, max(4.0, space.decay_ratio()))
+        exponents = np.arange(1, int(np.ceil(np.log2(top))) + 1)
+        qs = [float(2.0**e) for e in exponents]
+    grid = np.asarray(qs, dtype=float)
+    gs = np.array(
+        [
+            densest_packing(space, float(q), exact=exact, limit=limit, centers=centers)
+            for q in grid
+        ],
+        dtype=float,
+    )
+    keep = gs > 0
+    grid, gs = grid[keep], gs[keep]
+    if grid.size == 0:
+        return 0.0, 1.0
+    if grid.size == 1:
+        a = 0.0
+    else:
+        slope, _ = np.polyfit(np.log(grid), np.log(gs), 1)
+        a = max(0.0, float(slope))
+    c = float(np.max(gs / grid**a))
+    return a, c
+
+
+def is_fading_space(
+    space: DecaySpace,
+    constant: float = 1.0,
+    qs: np.ndarray | list[float] | None = None,
+    exact: bool = True,
+) -> bool:
+    """Whether the space is *fading* (Def. 3.3): ``A(D) < 1`` w.r.t. ``C``."""
+    return assouad_dimension(space, qs=qs, constant=constant, exact=exact) < 1.0
+
+
+# ----------------------------------------------------------------------
+# Doubling dimension of the induced quasi-metric (Lemma B.3's A')
+# ----------------------------------------------------------------------
+def _greedy_cover_count(d: np.ndarray, ball_nodes: np.ndarray, radius: float) -> int:
+    """Greedily cover ``ball_nodes`` with balls of ``radius`` centered at
+    members; returns the number of balls used (an upper bound on the
+    optimal cover number)."""
+    remaining = set(int(x) for x in ball_nodes)
+    count = 0
+    while remaining:
+        # Pick the member covering the most remaining points.
+        best_center, best_cover = -1, set()
+        for c in remaining:
+            cover = {x for x in remaining if d[x, c] <= radius}
+            if len(cover) > len(best_cover):
+                best_center, best_cover = c, cover
+        remaining -= best_cover
+        count += 1
+    return count
+
+
+def doubling_constant(
+    d: np.ndarray, centers: np.ndarray | list[int] | None = None
+) -> int:
+    """The doubling constant of a distance matrix: the max over (center,
+    radius) of the number of radius-r balls needed to cover a 2r ball.
+
+    Uses a greedy cover, hence an upper bound on the true constant; radii
+    range over half the distinct distances towards each center.
+    """
+    d = np.asarray(d, dtype=float)
+    n = d.shape[0]
+    cs = range(n) if centers is None else [int(c) for c in centers]
+    worst = 1
+    for x in cs:
+        radii = np.unique(d[:, x])
+        radii = radii[radii > 0] / 2.0
+        for r in radii:
+            ball2 = np.flatnonzero(d[:, x] <= 2.0 * r)
+            worst = max(worst, _greedy_cover_count(d, ball2, r))
+    return worst
+
+
+def doubling_dimension(
+    d: np.ndarray, centers: np.ndarray | list[int] | None = None
+) -> float:
+    """``log2`` of the doubling constant of a distance matrix."""
+    return float(np.log2(doubling_constant(d, centers=centers)))

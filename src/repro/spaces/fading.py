@@ -1,0 +1,127 @@
+"""The fading parameter gamma and Theorem 2's bound (paper Sec. 3).
+
+For a node ``z`` and a separation term ``r``, the *fading value* is
+
+::
+
+    gamma_z(r) = r * max over r-separated X of  sum_{x in X} 1 / f(x, z)
+
+where a node set is *r-separated* when every ordered pair of distinct
+members has decay at least ``r``.  The *fading parameter* of a space is
+``gamma(r) = max_z gamma_z(r)``: the total interference a node can receive
+from any r-separated set of uniform-power senders, normalised by ``P/r``.
+
+Theorem 2: for a decay space with Assouad dimension ``A < 1`` (constant
+``C``), ``gamma(r) <= C * 2^(A+1) * (zetahat(2 - A) - 1)`` with
+``zetahat`` the Riemann zeta function.
+
+The maximisation over r-separated sets is a maximum-weight independent-set
+problem; we solve it exactly via branch and bound for small spaces and
+greedily (a lower bound) otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import zeta as riemann_zeta
+
+from repro.core.decay import DecaySpace
+from repro.spaces._mwc import EXACT_LIMIT, greedy_weight_clique, max_weight_clique
+
+__all__ = [
+    "is_r_separated",
+    "fading_value",
+    "fading_parameter",
+    "theorem2_bound",
+    "max_interference_set",
+]
+
+
+def is_r_separated(
+    space: DecaySpace, nodes: np.ndarray | list[int], r: float
+) -> bool:
+    """Whether every ordered pair of distinct members has decay >= r."""
+    idx = np.asarray(nodes, dtype=int)
+    if idx.size < 2:
+        return True
+    sub = np.minimum(space.f, space.f.T)[np.ix_(idx, idx)]
+    k = idx.size
+    sub = sub + np.where(np.eye(k, dtype=bool), np.inf, 0.0)
+    return bool(np.all(sub >= r))
+
+
+def max_interference_set(
+    space: DecaySpace,
+    z: int,
+    r: float,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+) -> tuple[list[int], float]:
+    """The r-separated sender set maximising total interference at ``z``.
+
+    Returns ``(senders, total)`` with ``total = sum 1/f(x, z)`` under unit
+    power.  Following Theorem 2's usage (its listener is a member of the
+    separated set: the proof's ``S_2 = emptyset`` step requires
+    ``f(y, z) >= r`` for every sender), candidates must be r-separated both
+    pairwise *and* from the listener ``z`` — without the latter the value
+    is unbounded as an interferer approaches the listener.  Exact mode is a
+    max-weight clique over the separation-compatibility graph.
+    """
+    fmin = np.minimum(space.f, space.f.T)
+    others = np.array(
+        [v for v in range(space.n) if v != z and fmin[v, z] >= r], dtype=int
+    )
+    if others.size == 0:
+        return [], 0.0
+    sub = fmin[np.ix_(others, others)]
+    adj = sub >= r
+    np.fill_diagonal(adj, False)
+    weights = 1.0 / space.f[others, z]
+    if exact:
+        nodes, total = max_weight_clique(adj, weights, limit=limit)
+    else:
+        nodes, total = greedy_weight_clique(adj, weights)
+    return [int(others[i]) for i in nodes], float(total)
+
+
+def fading_value(
+    space: DecaySpace,
+    z: int,
+    r: float,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+) -> float:
+    """The fading value ``gamma_z(r)`` of Definition 3.1."""
+    if r <= 0:
+        raise ValueError(f"separation term r must be positive, got {r}")
+    _, total = max_interference_set(space, z, r, exact=exact, limit=limit)
+    return float(r * total)
+
+
+def fading_parameter(
+    space: DecaySpace,
+    r: float,
+    exact: bool = True,
+    limit: int = EXACT_LIMIT,
+) -> float:
+    """The fading parameter ``gamma(r) = max_z gamma_z(r)``."""
+    return max(
+        fading_value(space, z, r, exact=exact, limit=limit)
+        for z in range(space.n)
+    )
+
+
+def theorem2_bound(assouad_dim: float, constant: float = 1.0) -> float:
+    """Theorem 2's upper bound ``C * 2^(A+1) * (zetahat(2-A) - 1)``.
+
+    Valid for ``A < 1`` (so the Riemann series converges); raises
+    ``ValueError`` otherwise.
+    """
+    if assouad_dim >= 1.0:
+        raise ValueError(
+            f"Theorem 2 requires Assouad dimension < 1, got {assouad_dim}"
+        )
+    if constant <= 0:
+        raise ValueError(f"doubling constant must be positive, got {constant}")
+    s = 2.0 - assouad_dim
+    return float(constant * 2.0 ** (assouad_dim + 1.0) * (riemann_zeta(s) - 1.0))

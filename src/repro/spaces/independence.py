@@ -1,0 +1,180 @@
+"""Independence dimension and guard sets (paper Sec. 4.1, Def. 4.1).
+
+Following Goussevskaia et al. [21] and Welzl's memorandum, a set ``I`` of
+points (not containing ``x``) is *independent with respect to* ``x`` when
+every member is strictly closer to ``x`` than to any other member::
+
+    f(z, x) < f(z, w)    for all z in I, w in I \\ {z}
+
+(the paper's displayed ball formulation is garbled — the center would have
+to belong to its own ball intersection — so we implement the [21]/Welzl
+semantics it cites).  The *independence dimension* of a space is the size
+of its largest independent set; in the Euclidean plane it is at most 5
+(unit vectors with pairwise angles > 60 degrees).
+
+A set ``J`` *guards* ``x`` when every other point has some guard at least
+as close as ``x``: ``min_{y in J} f(z, y) <= f(z, x)`` for all
+``z != x``.  Welzl showed the number of guards needed equals the
+independence dimension; in the plane, six 60-degree sectors suffice.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.errors import ExactComputationError
+from repro.spaces._mwc import EXACT_LIMIT, greedy_weight_clique, max_weight_clique
+
+__all__ = [
+    "is_independent_wrt",
+    "max_independent_wrt",
+    "independence_dimension",
+    "is_guard_set",
+    "greedy_guards",
+    "minimum_guards",
+    "planar_sector_guards",
+]
+
+
+def is_independent_wrt(
+    space: DecaySpace, members: np.ndarray | list[int], x: int
+) -> bool:
+    """Whether ``members`` is independent with respect to point ``x``."""
+    idx = np.asarray(members, dtype=int)
+    if x in idx:
+        return False
+    if idx.size < 2:
+        return True
+    f = space.f
+    to_x = f[idx, x]
+    among = f[np.ix_(idx, idx)]
+    k = idx.size
+    among = among + np.where(np.eye(k, dtype=bool), np.inf, 0.0)
+    return bool(np.all(to_x[:, None] < among))
+
+
+def _compatibility_graph(space: DecaySpace, x: int) -> tuple[np.ndarray, np.ndarray]:
+    """Graph on V \\ {x}: edge (z, w) iff both are closer to x than to each
+    other.  Independent-wrt-x sets are exactly the cliques."""
+    others = np.array([v for v in range(space.n) if v != x], dtype=int)
+    f = space.f
+    to_x = f[others, x]
+    among = f[np.ix_(others, others)]
+    adj = (to_x[:, None] < among) & (to_x[None, :] < among.T)
+    np.fill_diagonal(adj, False)
+    return others, adj
+
+
+def max_independent_wrt(
+    space: DecaySpace, x: int, exact: bool = True, limit: int = EXACT_LIMIT
+) -> list[int]:
+    """A maximum (or greedy maximal) independent set w.r.t. ``x``."""
+    others, adj = _compatibility_graph(space, x)
+    weights = np.ones(others.size)
+    if exact:
+        nodes, _ = max_weight_clique(adj, weights, limit=limit)
+    else:
+        nodes, _ = greedy_weight_clique(adj, weights)
+    return [int(others[i]) for i in nodes]
+
+
+def independence_dimension(
+    space: DecaySpace, exact: bool = True, limit: int = EXACT_LIMIT
+) -> int:
+    """The independence dimension of the space (max over all centers)."""
+    best = 0
+    for x in range(space.n):
+        best = max(best, len(max_independent_wrt(space, x, exact=exact, limit=limit)))
+    return best
+
+
+# ----------------------------------------------------------------------
+# Guard sets
+# ----------------------------------------------------------------------
+def is_guard_set(
+    space: DecaySpace, x: int, guards: np.ndarray | list[int]
+) -> bool:
+    """Whether ``guards`` guard ``x``: every ``z != x`` has a guard at
+    decay at most ``f(z, x)``."""
+    idx = np.asarray(guards, dtype=int)
+    if idx.size == 0:
+        return space.n == 1
+    f = space.f
+    others = np.array([v for v in range(space.n) if v != x], dtype=int)
+    if others.size == 0:
+        return True
+    nearest_guard = f[np.ix_(others, idx)].min(axis=1)
+    return bool(np.all(nearest_guard <= f[others, x]))
+
+
+def greedy_guards(space: DecaySpace, x: int) -> list[int]:
+    """A guard set for ``x`` by greedy set cover.
+
+    Candidate ``y`` covers the points ``z`` with ``f(z, y) <= f(z, x)``
+    (every candidate covers at least itself, so the cover always exists).
+    """
+    f = space.f
+    others = [v for v in range(space.n) if v != x]
+    uncovered = set(others)
+    guards: list[int] = []
+    while uncovered:
+        best_y, best_cover = -1, set()
+        for y in others:
+            if y in guards:
+                continue
+            cover = {z for z in uncovered if f[z, y] <= f[z, x]}
+            if len(cover) > len(best_cover):
+                best_y, best_cover = y, cover
+        if best_y < 0:  # pragma: no cover - impossible: y covers itself
+            raise ExactComputationError("guard cover stalled")
+        guards.append(best_y)
+        uncovered -= best_cover
+    return guards
+
+
+def minimum_guards(
+    space: DecaySpace, x: int, max_size: int = 8
+) -> list[int]:
+    """A minimum-cardinality guard set for ``x`` (exhaustive up to
+    ``max_size``; falls back to greedy beyond)."""
+    others = [v for v in range(space.n) if v != x]
+    for k in range(1, min(max_size, len(others)) + 1):
+        for combo in itertools.combinations(others, k):
+            if is_guard_set(space, x, list(combo)):
+                return list(combo)
+    return greedy_guards(space, x)
+
+
+def planar_sector_guards(
+    points: np.ndarray, x: int, sectors: int = 6
+) -> list[int]:
+    """The paper's planar construction: nearest point in each 60-deg sector.
+
+    ``points`` are 2-D coordinates; returns at most ``sectors`` guard
+    indices.  With 6 sectors the guarding property holds for Euclidean
+    decay spaces because the angle at ``x`` between a point and its
+    sector's nearest point is below 60 degrees.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("planar guards require (n, 2) coordinates")
+    n = pts.shape[0]
+    rel = pts - pts[x]
+    angles = np.arctan2(rel[:, 1], rel[:, 0])  # [-pi, pi)
+    dist = np.hypot(rel[:, 0], rel[:, 1])
+    width = 2.0 * np.pi / sectors
+    guards: list[int] = []
+    for s in range(sectors):
+        lo = -np.pi + s * width
+        hi = lo + width
+        members = [
+            v
+            for v in range(n)
+            if v != x and lo <= angles[v] < hi
+        ]
+        if members:
+            guards.append(min(members, key=lambda v: dist[v]))
+    return guards

@@ -1,0 +1,127 @@
+"""Quasi-metrics induced by decay spaces (paper Sec. 2.2).
+
+The quasi-distances ``d(p, q) = f(p, q)^(1/zeta)`` of a decay space with
+metricity ``zeta`` satisfy the *directed* triangle inequality
+``d(x, y) <= d(x, z) + d(z, y)`` but need not be symmetric — such a
+structure is a *quasi-metric*.  When the decay space is symmetric, the
+induced structure is a genuine metric (Prop. 1 rests on exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DecaySpaceError
+
+__all__ = ["QuasiMetric", "triangle_violations", "is_triangle_satisfied"]
+
+
+def triangle_violations(
+    d: np.ndarray, rtol: float = 1e-9
+) -> list[tuple[int, int, int]]:
+    """Triples ``(x, y, z)`` with ``d(x, y) > d(x, z) + d(z, y)`` (rel. tol).
+
+    The middle node of each returned triple is ``z``.
+    """
+    d = np.asarray(d, dtype=float)
+    n = d.shape[0]
+    out: list[tuple[int, int, int]] = []
+    eye = np.eye(n, dtype=bool)
+    for z in range(n):
+        detour = d[:, z][:, None] + d[z, :][None, :]
+        bad = d > detour * (1.0 + rtol)
+        bad &= ~eye
+        bad[z, :] = False
+        bad[:, z] = False
+        for x, y in np.argwhere(bad):
+            out.append((int(x), int(y), int(z)))
+    return out
+
+
+def is_triangle_satisfied(d: np.ndarray, rtol: float = 1e-9) -> bool:
+    """Whether ``d`` satisfies the directed triangle inequality."""
+    d = np.asarray(d, dtype=float)
+    n = d.shape[0]
+    eye = np.eye(n, dtype=bool)
+    for z in range(n):
+        detour = d[:, z][:, None] + d[z, :][None, :]
+        bad = d > detour * (1.0 + rtol)
+        bad &= ~eye
+        bad[z, :] = False
+        bad[:, z] = False
+        if bad.any():
+            return False
+    return True
+
+
+class QuasiMetric:
+    """A finite quasi-metric: positivity + directed triangle inequality.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, n)`` distance matrix; diagonal zero, off-diagonal positive.
+    validate:
+        When ``True`` (default) the triangle inequality is verified and a
+        :class:`DecaySpaceError` raised on violation.
+    """
+
+    __slots__ = ("_d",)
+
+    def __init__(
+        self,
+        matrix: np.ndarray | Sequence[Sequence[float]],
+        *,
+        validate: bool = True,
+        rtol: float = 1e-9,
+    ) -> None:
+        d = np.array(matrix, dtype=float)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise DecaySpaceError(f"distance matrix must be square, got {d.shape}")
+        if np.any(np.diagonal(d) != 0.0):
+            raise DecaySpaceError("quasi-metric diagonal must be zero")
+        off = d[~np.eye(d.shape[0], dtype=bool)]
+        if off.size and (not np.all(np.isfinite(off)) or np.any(off <= 0)):
+            raise DecaySpaceError("quasi-distances must be positive and finite")
+        if validate and not is_triangle_satisfied(d, rtol=rtol):
+            witness = triangle_violations(d, rtol=rtol)[0]
+            raise DecaySpaceError(
+                f"directed triangle inequality violated at triple {witness}"
+            )
+        d.setflags(write=False)
+        self._d = d
+
+    @property
+    def d(self) -> np.ndarray:
+        """The read-only distance matrix."""
+        return self._d
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return self._d.shape[0]
+
+    def distance(self, p: int, q: int) -> float:
+        """The quasi-distance from ``p`` to ``q``."""
+        return float(self._d[p, q])
+
+    def is_symmetric(self, rtol: float = 1e-9) -> bool:
+        """Whether the quasi-metric is a genuine metric."""
+        return bool(np.allclose(self._d, self._d.T, rtol=rtol, atol=0.0))
+
+    def symmetrized(self) -> "QuasiMetric":
+        """The metric ``max(d(p,q), d(q,p))`` (triangle inequality preserved)."""
+        return QuasiMetric(np.maximum(self._d, self._d.T), validate=False)
+
+    def ball(self, center: int, radius: float) -> np.ndarray:
+        """Indices ``x`` with ``d(x, center) < radius`` (center included)."""
+        return np.flatnonzero(self._d[:, center] < radius)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "metric" if self.is_symmetric() else "quasi-metric"
+        return f"QuasiMetric(n={self.n}, {kind})"

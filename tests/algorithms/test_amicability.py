@@ -1,0 +1,76 @@
+"""Tests for the Theorem-4 amicability machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.amicability import amicable_subset, verify_amicability
+from repro.algorithms.capacity_opt import capacity_optimum
+from repro.core.affectance import affectance_matrix
+from repro.core.power import uniform_power
+from repro.spaces.independence import independence_dimension
+from tests.conftest import make_planar_links
+
+_E2 = float(np.e) ** 2
+
+
+class TestExtraction:
+    def test_subset_of_input(self):
+        links = make_planar_links(14, alpha=3.0, seed=1)
+        opt, _ = capacity_optimum(links, uniform_power(links))
+        report = amicable_subset(links, opt)
+        assert set(report.subset) <= set(opt)
+        assert report.input_size == len(opt)
+
+    def test_empty_input(self):
+        links = make_planar_links(4, alpha=3.0, seed=2)
+        report = amicable_subset(links, [])
+        assert report.subset == () and report.size_ratio == 1.0
+
+    def test_max_out_affectance_consistent(self):
+        links = make_planar_links(14, alpha=3.0, seed=3)
+        opt, _ = capacity_optimum(links, uniform_power(links))
+        report = amicable_subset(links, opt)
+        a = affectance_matrix(links, uniform_power(links), clip=True)
+        if report.subset:
+            expected = float(a[:, list(report.subset)].sum(axis=1).max())
+            assert report.max_out_affectance == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_theorem4_bound_holds_on_plane(self, seed):
+        """a_v(S') <= (1 + 2e^2) D for every link of the instance."""
+        links = make_planar_links(14, alpha=3.0, seed=seed)
+        opt, _ = capacity_optimum(links, uniform_power(links))
+        report = amicable_subset(links, opt)
+        d_dim = independence_dimension(links.space, exact=False)
+        constant = (1.0 + 2.0 * _E2) * max(d_dim, 1)
+        assert report.max_out_affectance <= constant
+        assert verify_amicability(links, list(report.subset), constant)
+
+    def test_size_ratio_positive(self):
+        links = make_planar_links(14, alpha=3.0, seed=6)
+        opt, _ = capacity_optimum(links, uniform_power(links))
+        report = amicable_subset(links, opt)
+        assert report.size_ratio > 0.0
+        assert len(report.subset) >= 1
+
+    def test_out_affectance_cut_respected_within_class(self):
+        links = make_planar_links(14, alpha=3.0, seed=7)
+        opt, _ = capacity_optimum(links, uniform_power(links))
+        report = amicable_subset(links, opt, out_affectance_cut=2.0)
+        a = affectance_matrix(links, uniform_power(links), clip=True)
+        sub = list(report.subset)
+        for v in sub:
+            assert a[v, sub].sum() <= 2.0 + 1e-9
+
+
+class TestVerification:
+    def test_empty_subset_amicable(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        assert verify_amicability(links, [], 0.1)
+
+    def test_violated_constant_detected(self):
+        links = make_planar_links(10, alpha=3.0, seed=8)
+        # The whole link set with a tiny constant must fail.
+        assert not verify_amicability(links, list(range(10)), 1e-6)

@@ -1,0 +1,107 @@
+"""Tests for Algorithm 1 (repro.algorithms.capacity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.core.separation import is_separated_set, link_distance_matrix
+from tests.conftest import make_planar_links
+
+
+class TestAlgorithm1:
+    def test_output_always_feasible(self):
+        for seed in range(6):
+            links = make_planar_links(12, alpha=3.0, seed=seed)
+            result = capacity_bounded_growth(links)
+            assert is_feasible(
+                links, list(result.selected), uniform_power(links)
+            )
+
+    def test_selected_subset_of_candidate(self):
+        links = make_planar_links(12, alpha=3.0, seed=1)
+        result = capacity_bounded_growth(links)
+        assert set(result.selected) <= set(result.candidate)
+
+    def test_candidate_is_half_separated(self):
+        """X is built zeta/2-separated in the link-from-set sense."""
+        links = make_planar_links(12, alpha=3.0, seed=2)
+        result = capacity_bounded_growth(links)
+        dist = link_distance_matrix(links, result.zeta)
+        qlen = np.diagonal(dist)
+        # Each candidate was checked against earlier (shorter) candidates.
+        order = {v: i for i, v in enumerate(result.candidate)}
+        for v in result.candidate:
+            earlier = [w for w in result.candidate if order[w] < order[v]]
+            if earlier:
+                assert np.all(
+                    dist[v, earlier] >= (result.zeta / 2.0) * qlen[v] - 1e-9
+                )
+
+    def test_zeta_default_is_space_metricity(self):
+        links = make_planar_links(8, alpha=3.0, seed=3)
+        result = capacity_bounded_growth(links)
+        assert result.zeta == pytest.approx(
+            max(links.space.metricity(), 1.0), abs=1e-6
+        )
+
+    def test_zeta_override(self):
+        links = make_planar_links(8, alpha=3.0, seed=3)
+        result = capacity_bounded_growth(links, zeta=5.0)
+        assert result.zeta == 5.0
+
+    def test_single_link(self):
+        links = make_planar_links(1, alpha=3.0, seed=4)
+        result = capacity_bounded_growth(links)
+        assert result.selected == (0,)
+
+    def test_far_apart_links_all_selected(self):
+        # Links separated by huge gaps: everything fits.
+        import numpy as np
+
+        from repro.core.decay import DecaySpace
+        from repro.core.links import LinkSet
+
+        pts = []
+        for i in range(5):
+            base = np.array([1000.0 * i, 0.0])
+            pts.append(base)
+            pts.append(base + [1.0, 0.0])
+        space = DecaySpace.from_points(np.array(pts), 3.0)
+        links = LinkSet(space, [(2 * i, 2 * i + 1) for i in range(5)])
+        result = capacity_bounded_growth(links)
+        assert len(result.selected) == 5
+
+    def test_noise_respected(self):
+        links = make_planar_links(8, alpha=3.0, seed=5)
+        result = capacity_bounded_growth(links, noise=0.01, power=10.0)
+        assert is_feasible(
+            links,
+            list(result.selected),
+            uniform_power(links, 10.0),
+            noise=0.01,
+        )
+
+    def test_result_size_property(self):
+        links = make_planar_links(8, alpha=3.0, seed=6)
+        result = capacity_bounded_growth(links)
+        assert result.size == len(result.selected)
+
+
+@given(
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=60),
+    st.sampled_from([2.0, 3.0, 4.0]),
+)
+def test_feasibility_property(n_links, seed, alpha):
+    """Algorithm 1's output is feasible on every instance."""
+    links = make_planar_links(n_links, alpha=alpha, seed=seed)
+    result = capacity_bounded_growth(links)
+    assert is_feasible(links, list(result.selected), uniform_power(links))
+    # The shortest link always survives both tests, so output is nonempty.
+    assert result.size >= 1

@@ -1,0 +1,100 @@
+"""Tests for the general-metric greedy and naive baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.capacity_general import (
+    capacity_general_metric,
+    capacity_strongest_first,
+)
+from repro.core.feasibility import is_feasible
+from repro.core.power import linear_power, mean_power, uniform_power
+from repro.errors import PowerError
+from tests.conftest import make_planar_links, random_decay_matrix
+
+
+class TestGeneralGreedy:
+    @pytest.mark.parametrize("power_fn", [uniform_power, mean_power, linear_power])
+    def test_feasible_under_monotone_powers(self, power_fn):
+        for seed in (0, 1, 2):
+            links = make_planar_links(12, alpha=3.0, seed=seed)
+            powers = power_fn(links)
+            result = capacity_general_metric(links, powers)
+            assert is_feasible(links, list(result.selected), powers)
+
+    def test_rejects_non_monotone_power(self):
+        links = make_planar_links(6, alpha=3.0, seed=3)
+        bad = np.linspace(2.0, 1.0, 6)[np.argsort(np.argsort(-links.lengths))]
+        # Construct decreasing-with-length powers explicitly.
+        order = links.order_by_length()
+        bad = np.empty(6)
+        bad[order] = np.linspace(2.0, 1.0, 6)
+        with pytest.raises(PowerError, match="monotone"):
+            capacity_general_metric(links, bad)
+
+    def test_override_monotone_check(self):
+        links = make_planar_links(6, alpha=3.0, seed=3)
+        order = links.order_by_length()
+        bad = np.empty(6)
+        bad[order] = np.linspace(2.0, 1.0, 6)
+        result = capacity_general_metric(links, bad, require_monotone=False)
+        assert is_feasible(links, list(result.selected), bad)
+
+    def test_works_on_arbitrary_decay_space(self):
+        """Proposition 1 in action: no geometry anywhere."""
+        from repro.core.decay import DecaySpace
+        from repro.core.links import LinkSet
+
+        f = random_decay_matrix(12, seed=8, low=0.5, high=60.0, symmetric=False)
+        space = DecaySpace(f)
+        links = LinkSet(space, [(i, i + 6) for i in range(6)])
+        result = capacity_general_metric(links)
+        assert is_feasible(links, list(result.selected), uniform_power(links))
+
+    def test_threshold_tightens_candidate(self):
+        links = make_planar_links(12, alpha=3.0, seed=4)
+        loose = capacity_general_metric(links, admission_threshold=0.9)
+        tight = capacity_general_metric(links, admission_threshold=0.1)
+        assert len(tight.candidate) <= len(loose.candidate)
+
+
+class TestStrongestFirst:
+    def test_always_feasible(self):
+        for seed in range(4):
+            links = make_planar_links(10, alpha=3.0, seed=seed)
+            result = capacity_strongest_first(links)
+            assert is_feasible(
+                links, list(result.selected), uniform_power(links)
+            )
+
+    def test_maximal(self):
+        """No remaining link can be added without breaking feasibility."""
+        links = make_planar_links(10, alpha=3.0, seed=5)
+        powers = uniform_power(links)
+        result = capacity_strongest_first(links)
+        chosen = set(result.selected)
+        for v in range(10):
+            if v not in chosen:
+                assert not is_feasible(
+                    links, sorted(chosen | {v}), powers
+                )
+
+    def test_takes_isolated_links(self):
+        links = make_planar_links(3, alpha=3.0, seed=6, extent=100.0)
+        result = capacity_strongest_first(links)
+        assert len(result.selected) == 3
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=40),
+)
+def test_general_greedy_feasible_property(n_links, seed):
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    for powers in (uniform_power(links), mean_power(links)):
+        result = capacity_general_metric(links, powers)
+        assert is_feasible(links, list(result.selected), powers)

@@ -1,0 +1,73 @@
+"""Tests for the exact capacity solver."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.capacity_general import (
+    capacity_general_metric,
+    capacity_strongest_first,
+)
+from repro.algorithms.capacity_opt import capacity_optimum
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.errors import ExactComputationError
+from tests.conftest import make_planar_links
+
+
+def brute_force_optimum(links, powers) -> int:
+    best = 0
+    for k in range(1, links.m + 1):
+        for combo in itertools.combinations(range(links.m), k):
+            if is_feasible(links, list(combo), powers):
+                best = max(best, k)
+    return best
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        links = make_planar_links(8, alpha=3.0, seed=seed)
+        powers = uniform_power(links)
+        subset, size = capacity_optimum(links, powers)
+        assert size == brute_force_optimum(links, powers)
+        assert is_feasible(links, subset, powers)
+        assert len(subset) == size
+
+    def test_with_noise(self):
+        links = make_planar_links(7, alpha=3.0, seed=9)
+        powers = uniform_power(links, 10.0)
+        subset, size = capacity_optimum(links, powers, noise=0.02)
+        assert size == brute_force_optimum_noise(links, powers, 0.02)
+        assert is_feasible(links, subset, powers, noise=0.02)
+
+    def test_dominates_heuristics(self):
+        for seed in range(5):
+            links = make_planar_links(10, alpha=3.0, seed=seed)
+            powers = uniform_power(links)
+            _, opt = capacity_optimum(links, powers)
+            assert opt >= capacity_bounded_growth(links).size
+            assert opt >= len(capacity_general_metric(links).selected)
+            assert opt >= len(capacity_strongest_first(links).selected)
+
+    def test_limit_enforced(self):
+        links = make_planar_links(10, alpha=3.0, seed=1)
+        with pytest.raises(ExactComputationError, match="limited"):
+            capacity_optimum(links, uniform_power(links), limit=5)
+
+    def test_isolated_links_all_taken(self):
+        links = make_planar_links(5, alpha=3.0, seed=2, extent=500.0)
+        _, size = capacity_optimum(links, uniform_power(links))
+        assert size == 5
+
+
+def brute_force_optimum_noise(links, powers, noise) -> int:
+    best = 0
+    for k in range(1, links.m + 1):
+        for combo in itertools.combinations(range(links.m), k):
+            if is_feasible(links, list(combo), powers, noise=noise):
+                best = max(best, k)
+    return best

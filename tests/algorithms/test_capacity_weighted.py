@@ -1,0 +1,106 @@
+"""Tests for weighted capacity."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.capacity_weighted import (
+    weighted_capacity_greedy,
+    weighted_capacity_optimum,
+)
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.errors import ExactComputationError, LinkError
+from tests.conftest import make_planar_links
+
+
+def brute_force_weighted(links, weights, powers) -> float:
+    best = 0.0
+    for k in range(1, links.m + 1):
+        for combo in itertools.combinations(range(links.m), k):
+            if is_feasible(links, list(combo), powers):
+                best = max(best, float(weights[list(combo)].sum()))
+    return best
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        links = make_planar_links(8, alpha=3.0, seed=seed)
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 5.0, size=8)
+        powers = uniform_power(links)
+        subset, value = weighted_capacity_optimum(links, weights, powers)
+        assert value == pytest.approx(brute_force_weighted(links, weights, powers))
+        assert is_feasible(links, subset, powers)
+        assert value == pytest.approx(float(weights[subset].sum()))
+
+    def test_unit_weights_match_cardinality_opt(self):
+        from repro.algorithms.capacity_opt import capacity_optimum
+
+        links = make_planar_links(9, alpha=3.0, seed=5)
+        powers = uniform_power(links)
+        _, card = capacity_optimum(links, powers)
+        _, value = weighted_capacity_optimum(links, np.ones(9), powers)
+        assert value == pytest.approx(float(card))
+
+    def test_heavy_link_preferred(self):
+        links = make_planar_links(6, alpha=3.0, seed=6)
+        weights = np.ones(6)
+        weights[3] = 100.0
+        subset, _ = weighted_capacity_optimum(links, weights)
+        assert 3 in subset
+
+    def test_limit(self):
+        links = make_planar_links(6, alpha=3.0, seed=1)
+        with pytest.raises(ExactComputationError):
+            weighted_capacity_optimum(links, np.ones(6), limit=3)
+
+    def test_weight_validation(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        with pytest.raises(LinkError, match="shape"):
+            weighted_capacity_optimum(links, np.ones(3))
+        with pytest.raises(LinkError, match="non-negative"):
+            weighted_capacity_optimum(links, np.array([1.0, -1.0, 1.0, 1.0]))
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_always_feasible(self, seed):
+        links = make_planar_links(12, alpha=3.0, seed=seed)
+        rng = np.random.default_rng(seed + 100)
+        weights = rng.uniform(0.1, 5.0, size=12)
+        result = weighted_capacity_greedy(links, weights)
+        assert is_feasible(links, list(result.selected), uniform_power(links))
+
+    def test_at_most_optimum(self):
+        links = make_planar_links(9, alpha=3.0, seed=7)
+        rng = np.random.default_rng(7)
+        weights = rng.uniform(0.1, 5.0, size=9)
+        result = weighted_capacity_greedy(links, weights)
+        _, opt = weighted_capacity_optimum(links, weights)
+        achieved = float(weights[list(result.selected)].sum())
+        assert achieved <= opt + 1e-9
+
+    def test_heavy_isolated_link_taken(self):
+        links = make_planar_links(5, alpha=3.0, seed=8, extent=500.0)
+        weights = np.array([1.0, 1.0, 9.0, 1.0, 1.0])
+        result = weighted_capacity_greedy(links, weights)
+        assert 2 in result.selected
+
+
+@given(
+    st.integers(min_value=2, max_value=9),
+    st.integers(min_value=0, max_value=40),
+)
+def test_weighted_greedy_feasibility_property(n_links, seed):
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.0, 3.0, size=n_links)
+    result = weighted_capacity_greedy(links, weights)
+    assert is_feasible(links, list(result.selected), uniform_power(links))

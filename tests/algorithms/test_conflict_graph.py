@@ -1,0 +1,92 @@
+"""Tests for conflict-graph baselines."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.conflict_graph import (
+    affectance_conflict_graph,
+    capacity_conflict_graph,
+    distance_conflict_graph,
+    exact_independent_set,
+    greedy_independent_set,
+)
+from repro.core.separation import link_distance_matrix
+from tests.conftest import make_planar_links
+
+
+class TestGraphConstruction:
+    def test_distance_graph_edges_match_definition(self):
+        links = make_planar_links(10, alpha=3.0, seed=1)
+        guard = 1.5
+        g = distance_conflict_graph(links, guard=guard)
+        dist = link_distance_matrix(links)
+        qlen = np.diagonal(dist)
+        for v in range(10):
+            for w in range(v + 1, 10):
+                expected = dist[v, w] < guard * max(qlen[v], qlen[w])
+                assert g.has_edge(v, w) == expected
+
+    def test_larger_guard_more_edges(self):
+        links = make_planar_links(10, alpha=3.0, seed=2)
+        small = distance_conflict_graph(links, guard=0.5)
+        large = distance_conflict_graph(links, guard=3.0)
+        assert small.number_of_edges() <= large.number_of_edges()
+
+    def test_affectance_graph_edges(self):
+        links = make_planar_links(8, alpha=3.0, seed=3)
+        g = affectance_conflict_graph(links, threshold=0.5)
+        from repro.core.affectance import affectance_matrix
+        from repro.core.power import uniform_power
+
+        a = affectance_matrix(links, uniform_power(links), clip=True)
+        for v in range(8):
+            for w in range(v + 1, 8):
+                assert g.has_edge(v, w) == bool(a[v, w] + a[w, v] >= 0.5)
+
+
+class TestIndependentSets:
+    def test_greedy_is_independent(self):
+        g = nx.erdos_renyi_graph(14, 0.4, seed=1)
+        taken = greedy_independent_set(g)
+        for u, v in itertools_pairs(taken):
+            assert not g.has_edge(u, v)
+
+    def test_greedy_is_maximal(self):
+        g = nx.erdos_renyi_graph(14, 0.4, seed=2)
+        taken = set(greedy_independent_set(g))
+        for v in g.nodes:
+            if v not in taken:
+                assert any(g.has_edge(v, u) for u in taken)
+
+    def test_exact_dominates_greedy(self):
+        for seed in range(4):
+            g = nx.erdos_renyi_graph(12, 0.5, seed=seed)
+            assert len(exact_independent_set(g)) >= len(greedy_independent_set(g))
+
+    def test_exact_on_known_graph(self):
+        assert len(exact_independent_set(nx.cycle_graph(7))) == 3
+        assert len(exact_independent_set(nx.complete_graph(5))) == 1
+
+
+class TestCapacityBaseline:
+    def test_output_is_independent_in_graph(self):
+        links = make_planar_links(10, alpha=3.0, seed=4)
+        chosen = capacity_conflict_graph(links, guard=1.0)
+        g = distance_conflict_graph(links, guard=1.0)
+        for u, v in itertools_pairs(chosen):
+            assert not g.has_edge(u, v)
+
+    def test_exact_mode(self):
+        links = make_planar_links(8, alpha=3.0, seed=5)
+        greedy = capacity_conflict_graph(links, guard=1.0, exact=False)
+        exact = capacity_conflict_graph(links, guard=1.0, exact=True)
+        assert len(exact) >= len(greedy)
+
+
+def itertools_pairs(seq):
+    import itertools
+
+    return itertools.combinations(seq, 2)

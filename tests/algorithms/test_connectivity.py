@@ -1,0 +1,102 @@
+"""Tests for aggregation/connectivity over decay spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connectivity import (
+    aggregation_schedule,
+    aggregation_tree,
+)
+from repro.core.decay import DecaySpace
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.core.links import Link, LinkSet
+from repro.errors import LinkError
+from repro.geometry.points import uniform_points
+from repro.spaces.constructions import line_space
+
+
+def reaches_sink(levels, n: int, sink: int) -> bool:
+    """Every node's data reaches the sink through later-level parents."""
+    # Replay levels: holder[v] = where v's data currently resides.
+    holder = {v: v for v in range(n)}
+    for level in levels:
+        transmitters = {child for child, _ in level}
+        for child, parent in level:
+            assert parent not in transmitters  # no stranding within a level
+        moves = {child: parent for child, parent in level}
+        for v in range(n):
+            if holder[v] in moves:
+                holder[v] = moves[holder[v]]
+    return all(holder[v] == sink for v in range(n))
+
+
+class TestTree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_data_reaches_sink(self, seed):
+        pts = uniform_points(12, extent=10.0, seed=seed)
+        space = DecaySpace.from_points(pts, 3.0)
+        levels = aggregation_tree(space, sink=0)
+        assert reaches_sink(levels, space.n, 0)
+
+    def test_each_node_transmits_once(self):
+        pts = uniform_points(10, extent=10.0, seed=5)
+        space = DecaySpace.from_points(pts, 3.0)
+        levels = aggregation_tree(space, sink=3)
+        children = [c for level in levels for c, _ in level]
+        assert sorted(children) == sorted(set(children))
+        assert 3 not in children
+        assert len(children) == space.n - 1
+
+    def test_line_space_levels_logarithmic(self):
+        space = line_space(16, spacing=1.0, alpha=2.0)
+        levels = aggregation_tree(space, sink=0)
+        # Nearest-neighbor halving: expect far fewer than n levels.
+        assert len(levels) <= 10
+
+    def test_two_nodes(self):
+        space = line_space(2, spacing=1.0, alpha=2.0)
+        levels = aggregation_tree(space, sink=1)
+        assert levels == (((0, 1),),)
+
+    def test_sink_validation(self):
+        space = line_space(3)
+        with pytest.raises(LinkError, match="range"):
+            aggregation_tree(space, sink=5)
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_slot_feasible(self, seed):
+        pts = uniform_points(12, extent=10.0, seed=seed + 50)
+        space = DecaySpace.from_points(pts, 3.0)
+        result = aggregation_schedule(space, sink=0)
+        for level, schedule in zip(result.levels, result.schedules):
+            links = LinkSet(space, [Link(c, p) for c, p in level])
+            powers = uniform_power(links)
+            for slot in schedule.slots:
+                assert is_feasible(links, list(slot), powers)
+
+    def test_total_slots_at_least_levels(self):
+        pts = uniform_points(10, extent=10.0, seed=9)
+        space = DecaySpace.from_points(pts, 3.0)
+        result = aggregation_schedule(space, sink=0)
+        assert result.total_slots >= len(result.levels)
+
+    def test_edges_count(self):
+        pts = uniform_points(9, extent=10.0, seed=10)
+        space = DecaySpace.from_points(pts, 3.0)
+        result = aggregation_schedule(space, sink=2)
+        assert len(result.edges()) == space.n - 1
+
+    def test_works_on_non_geometric_space(self):
+        """Prop. 1: the construction only reads the decay matrix."""
+        from tests.conftest import random_decay_matrix
+
+        f = random_decay_matrix(10, seed=3, symmetric=False)
+        space = DecaySpace(f)
+        result = aggregation_schedule(space, sink=4)
+        assert reaches_sink(result.levels, 10, 4)
+        assert result.total_slots >= 1

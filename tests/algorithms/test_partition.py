@@ -1,0 +1,113 @@
+"""Tests for separation partitions (Lemmas B.2, B.3, 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.capacity_opt import capacity_optimum
+from repro.algorithms.partition import (
+    lemma_b2_separation,
+    partition_eta_separated,
+    partition_feasible_to_separated,
+)
+from repro.core.feasibility import is_k_feasible, signal_strengthening
+from repro.core.power import uniform_power
+from repro.core.separation import is_separated_set, link_distance_matrix
+from tests.conftest import make_planar_links
+
+_E2 = float(np.e) ** 2
+
+
+class TestEtaPartition:
+    def test_classes_are_separated(self):
+        links = make_planar_links(14, alpha=3.0, seed=1)
+        z = max(links.space.metricity(), 1.0)
+        classes = partition_eta_separated(links, list(range(14)), eta=z, zeta=z)
+        dist = link_distance_matrix(links, z)
+        for cls in classes:
+            assert is_separated_set(dist, cls, z)
+
+    def test_partition_covers_input(self):
+        links = make_planar_links(10, alpha=3.0, seed=2)
+        subset = [0, 2, 4, 6, 8]
+        classes = partition_eta_separated(links, subset, eta=2.0)
+        merged = sorted(int(v) for cls in classes for v in cls)
+        assert merged == subset
+
+    def test_larger_eta_more_classes(self):
+        links = make_planar_links(14, alpha=3.0, seed=3)
+        small = partition_eta_separated(links, list(range(14)), eta=0.5)
+        large = partition_eta_separated(links, list(range(14)), eta=4.0)
+        assert len(small) <= len(large)
+
+    def test_rejects_bad_eta(self):
+        links = make_planar_links(4, alpha=3.0, seed=4)
+        with pytest.raises(ValueError, match="positive"):
+            partition_eta_separated(links, [0, 1], eta=0.0)
+
+    def test_singleton(self):
+        links = make_planar_links(4, alpha=3.0, seed=4)
+        classes = partition_eta_separated(links, [2], eta=10.0)
+        assert len(classes) == 1 and list(classes[0]) == [2]
+
+
+class TestLemmaB2:
+    """e^2/beta-feasible uniform-power sets are 1/zeta-separated."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_strengthened_sets_are_separated(self, seed):
+        links = make_planar_links(14, alpha=3.0, seed=seed)
+        powers = uniform_power(links)
+        opt, _ = capacity_optimum(links, powers)
+        z = max(links.space.metricity(), 1.0)
+        classes = signal_strengthening(links, opt, powers, 1.0, _E2)
+        for cls in classes:
+            if len(cls) >= 2:
+                assert is_k_feasible(links, cls, powers, _E2)
+                sep = lemma_b2_separation(links, cls, zeta=z)
+                assert sep >= 1.0 / z - 1e-9
+
+    def test_singleton_infinite_separation(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        assert lemma_b2_separation(links, [0]) == np.inf
+
+
+class TestLemma41:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pipeline_outputs_zeta_separated(self, seed):
+        links = make_planar_links(14, alpha=3.0, seed=seed)
+        powers = uniform_power(links)
+        opt, _ = capacity_optimum(links, powers)
+        z = max(links.space.metricity(), 1.0)
+        classes = partition_feasible_to_separated(links, opt, zeta=z)
+        dist = link_distance_matrix(links, z)
+        merged = sorted(int(v) for cls in classes for v in cls)
+        assert merged == sorted(opt)
+        for cls in classes:
+            assert is_separated_set(dist, cls, z)
+
+    def test_class_count_reasonable(self):
+        """O(zeta^2A') with A' ~ 2 on the plane; sanity: far below |S|
+        classes for alpha=3 instances and never more than |S|."""
+        links = make_planar_links(16, alpha=3.0, seed=7)
+        powers = uniform_power(links)
+        opt, _ = capacity_optimum(links, powers)
+        classes = partition_feasible_to_separated(links, opt)
+        assert 1 <= len(classes) <= len(opt)
+
+
+@given(
+    st.integers(min_value=4, max_value=12),
+    st.integers(min_value=0, max_value=30),
+    st.floats(min_value=0.5, max_value=5.0),
+)
+def test_partition_property(n_links, seed, eta):
+    """Every class produced by Lemma B.3's first-fit is eta-separated."""
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    classes = partition_eta_separated(links, list(range(n_links)), eta=eta)
+    dist = link_distance_matrix(links)
+    for cls in classes:
+        assert is_separated_set(dist, cls, eta)

@@ -1,0 +1,91 @@
+"""Tests for scheduling via repeated capacity / first fit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.capacity_general import capacity_general_metric
+from repro.algorithms.scheduling import (
+    Schedule,
+    schedule_first_fit,
+    schedule_repeated_capacity,
+)
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.errors import LinkError
+from tests.conftest import make_planar_links
+
+
+def assert_valid_schedule(links, schedule: Schedule) -> None:
+    powers = uniform_power(links)
+    assert schedule.all_links() == tuple(range(links.m))
+    for slot in schedule.slots:
+        assert is_feasible(links, list(slot), powers)
+
+
+class TestFirstFit:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid(self, seed):
+        links = make_planar_links(14, alpha=3.0, seed=seed)
+        assert_valid_schedule(links, schedule_first_fit(links))
+
+    def test_custom_order(self):
+        links = make_planar_links(8, alpha=3.0, seed=1)
+        schedule = schedule_first_fit(links, order=list(range(8))[::-1])
+        assert_valid_schedule(links, schedule)
+
+    def test_slot_of(self):
+        links = make_planar_links(6, alpha=3.0, seed=2)
+        schedule = schedule_first_fit(links)
+        for v in range(6):
+            assert v in schedule.slots[schedule.slot_of(v)]
+
+    def test_slot_of_missing(self):
+        schedule = Schedule(slots=((0, 1),))
+        with pytest.raises(LinkError, match="not scheduled"):
+            schedule.slot_of(7)
+
+    def test_isolated_links_single_slot(self):
+        links = make_planar_links(5, alpha=3.0, seed=3, extent=500.0)
+        assert schedule_first_fit(links).length == 1
+
+
+class TestRepeatedCapacity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_with_default_algorithm(self, seed):
+        links = make_planar_links(12, alpha=3.0, seed=seed)
+        assert_valid_schedule(links, schedule_repeated_capacity(links))
+
+    def test_valid_with_general_greedy(self, seed=0):
+        links = make_planar_links(12, alpha=3.0, seed=seed)
+        schedule = schedule_repeated_capacity(
+            links, capacity_algorithm=capacity_general_metric
+        )
+        assert_valid_schedule(links, schedule)
+
+    def test_max_slots_enforced(self):
+        links = make_planar_links(12, alpha=3.0, seed=5)
+        with pytest.raises(LinkError, match="exceeded"):
+            schedule_repeated_capacity(links, max_slots=0)
+        # max_slots=0 degenerates; also try a plausible small cap.
+        full = schedule_repeated_capacity(links)
+        if full.length > 1:
+            with pytest.raises(LinkError, match="exceeded"):
+                schedule_repeated_capacity(links, max_slots=full.length - 1)
+
+    def test_singleton(self):
+        links = make_planar_links(1, alpha=3.0, seed=6)
+        schedule = schedule_repeated_capacity(links)
+        assert schedule.length == 1 and schedule.slots[0] == (0,)
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=0, max_value=40),
+)
+def test_schedules_always_valid(n_links, seed):
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    assert_valid_schedule(links, schedule_first_fit(links))
+    assert_valid_schedule(links, schedule_repeated_capacity(links))

@@ -1,0 +1,146 @@
+"""Tests for repro.core.affectance (Sec. 2.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.affectance import (
+    affectance_matrix,
+    in_affectance,
+    in_affectances_within,
+    noise_constants,
+    out_affectance,
+    total_affectance,
+)
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.core.sinr import sinr
+from repro.errors import InfeasibleLinkError, PowerError
+from tests.conftest import make_planar_links
+
+
+@pytest.fixture
+def two_links() -> LinkSet:
+    # Link 0: f_00 = 1, link 1: f_11 = 4; cross decays 16 and 25.
+    f = np.array(
+        [
+            [0.0, 1.0, 3.0, 16.0],
+            [1.0, 0.0, 2.0, 6.0],
+            [3.0, 2.0, 0.0, 4.0],
+            [25.0, 6.0, 4.0, 0.0],
+        ]
+    )
+    space = DecaySpace(f)
+    return LinkSet(space, [(0, 1), (2, 3)])
+
+
+class TestNoiseConstants:
+    def test_zero_noise_gives_beta(self, two_links):
+        c = noise_constants(two_links, uniform_power(two_links), beta=1.5)
+        assert np.allclose(c, 1.5)
+
+    def test_noise_raises_constant(self, two_links):
+        p = uniform_power(two_links, 10.0)
+        c = noise_constants(two_links, p, noise=1.0, beta=1.0)
+        # c_v = beta / (1 - beta N f_vv / P): link 0 -> 1/(1-0.1), link 1 -> 1/(1-0.4)
+        assert c[0] == pytest.approx(1.0 / 0.9)
+        assert c[1] == pytest.approx(1.0 / 0.6)
+
+    def test_infeasible_link_raises(self, two_links):
+        with pytest.raises(InfeasibleLinkError, match="overcome"):
+            noise_constants(two_links, uniform_power(two_links, 1.0), noise=0.5)
+
+    def test_validation(self, two_links):
+        p = uniform_power(two_links)
+        with pytest.raises(PowerError, match="beta"):
+            noise_constants(two_links, p, beta=0.0)
+        with pytest.raises(PowerError, match="noise"):
+            noise_constants(two_links, p, noise=-1.0)
+        with pytest.raises(PowerError, match="shape"):
+            noise_constants(two_links, np.ones(3))
+
+
+class TestAffectanceMatrix:
+    def test_hand_computed_values(self, two_links):
+        a = affectance_matrix(two_links, uniform_power(two_links), clip=False)
+        # a_w(v) = c_v * f_vv / f_wv with uniform power, beta = 1.
+        # a_1(0) = f_00 / f(s_1, r_0) = 1 / f(2, 1) = 1/2.
+        assert a[1, 0] == pytest.approx(0.5)
+        # a_0(1) = f_11 / f(s_0, r_1) = 4 / f(0, 3) = 4/16.
+        assert a[0, 1] == pytest.approx(0.25)
+        assert a[0, 0] == 0.0 and a[1, 1] == 0.0
+
+    def test_clipping(self, two_links):
+        # Raise beta so raw affectance exceeds 1 and clipping binds.
+        raw = affectance_matrix(
+            two_links, uniform_power(two_links), beta=3.0, clip=False
+        )
+        clipped = affectance_matrix(
+            two_links, uniform_power(two_links), beta=3.0, clip=True
+        )
+        assert raw[1, 0] == pytest.approx(1.5)
+        assert clipped[1, 0] == 1.0
+
+    def test_power_ratio_scales(self, two_links):
+        p = np.array([1.0, 4.0])
+        a = affectance_matrix(two_links, p, clip=False)
+        # a_1(0) multiplied by P_1/P_0 = 4.
+        assert a[1, 0] == pytest.approx(2.0)
+        # a_0(1) divided by 4.
+        assert a[0, 1] == pytest.approx(0.0625)
+
+    def test_colocated_interferer_infinite(self):
+        f = np.array(
+            [
+                [0.0, 1.0, 2.0],
+                [1.0, 0.0, 1.0],
+                [2.0, 1.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        links = LinkSet(space, [(0, 1), (1, 2)])  # s_1 = r_0 = node 1
+        raw = affectance_matrix(links, uniform_power(links), clip=False)
+        assert raw[1, 0] == np.inf
+        clipped = affectance_matrix(links, uniform_power(links), clip=True)
+        assert clipped[1, 0] == 1.0
+
+
+class TestAggregation:
+    def test_in_out_affectance(self, two_links):
+        a = affectance_matrix(two_links, uniform_power(two_links), clip=False)
+        assert in_affectance(a, [0, 1], 0) == pytest.approx(a[1, 0])
+        assert out_affectance(a, 0, [0, 1]) == pytest.approx(a[0, 1])
+
+    def test_in_affectances_within(self, two_links):
+        a = affectance_matrix(two_links, uniform_power(two_links), clip=False)
+        vec = in_affectances_within(a, [0, 1])
+        assert vec[0] == pytest.approx(a[1, 0])
+        assert vec[1] == pytest.approx(a[0, 1])
+
+    def test_total_affectance(self, two_links):
+        a = affectance_matrix(two_links, uniform_power(two_links), clip=False)
+        assert total_affectance(a, [0, 1]) == pytest.approx(a[1, 0] + a[0, 1])
+
+
+@given(
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=60),
+    st.floats(min_value=1.0, max_value=2.5),
+    st.floats(min_value=0.0, max_value=0.05),
+)
+def test_affectance_sinr_equivalence(n_links, seed, beta, noise):
+    """SINR_v >= beta iff unclipped in-affectance <= 1 (Sec. 2.4)."""
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    powers = uniform_power(links, 10.0)
+    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    active = list(range(n_links))
+    s = sinr(links, powers, active, noise=noise)
+    in_aff = in_affectances_within(a, active)
+    for v in range(n_links):
+        # Strict equivalence away from the boundary.
+        if abs(in_aff[v] - 1.0) > 1e-9:
+            assert (s[v] >= beta) == (in_aff[v] <= 1.0)

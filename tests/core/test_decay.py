@@ -1,0 +1,218 @@
+"""Tests for repro.core.decay (Definition 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decay import DecaySpace
+from repro.errors import DecaySpaceError
+from tests.conftest import random_decay_matrix
+
+
+def small_matrix() -> np.ndarray:
+    return np.array(
+        [
+            [0.0, 1.0, 4.0],
+            [2.0, 0.0, 8.0],
+            [3.0, 5.0, 0.0],
+        ]
+    )
+
+
+class TestValidation:
+    def test_accepts_valid_matrix(self):
+        space = DecaySpace(small_matrix())
+        assert space.n == 3
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(DecaySpaceError, match="square"):
+            DecaySpace(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DecaySpaceError, match="at least one node"):
+            DecaySpace(np.zeros((0, 0)))
+
+    def test_rejects_nonzero_diagonal(self):
+        f = small_matrix()
+        f[1, 1] = 0.5
+        with pytest.raises(DecaySpaceError, match="identity of indiscernibles"):
+            DecaySpace(f)
+
+    def test_rejects_zero_offdiagonal(self):
+        f = small_matrix()
+        f[0, 1] = 0.0
+        with pytest.raises(DecaySpaceError, match="strictly positive"):
+            DecaySpace(f)
+
+    def test_rejects_negative(self):
+        f = small_matrix()
+        f[0, 1] = -1.0
+        with pytest.raises(DecaySpaceError, match="strictly positive"):
+            DecaySpace(f)
+
+    def test_rejects_infinite(self):
+        f = small_matrix()
+        f[0, 1] = np.inf
+        with pytest.raises(DecaySpaceError, match="finite"):
+            DecaySpace(f)
+
+    def test_rejects_nan(self):
+        f = small_matrix()
+        f[0, 1] = np.nan
+        with pytest.raises(DecaySpaceError, match="finite"):
+            DecaySpace(f)
+
+    def test_label_count_must_match(self):
+        with pytest.raises(DecaySpaceError, match="labels"):
+            DecaySpace(small_matrix(), labels=["a", "b"])
+
+    def test_matrix_is_readonly(self):
+        space = DecaySpace(small_matrix())
+        with pytest.raises(ValueError):
+            space.f[0, 1] = 9.0
+
+    def test_input_not_aliased(self):
+        f = small_matrix()
+        space = DecaySpace(f)
+        f[0, 1] = 42.0
+        assert space.decay(0, 1) == 1.0
+
+
+class TestConstructors:
+    def test_from_points_matches_manual(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        space = DecaySpace.from_points(pts, 2.0)
+        assert space.decay(0, 1) == pytest.approx(25.0)
+        assert space.decay(1, 0) == pytest.approx(25.0)
+
+    def test_from_distances(self):
+        d = np.array([[0.0, 2.0], [2.0, 0.0]])
+        space = DecaySpace.from_distances(d, 3.0)
+        assert space.decay(0, 1) == pytest.approx(8.0)
+
+    def test_from_distances_rejects_bad_alpha(self):
+        with pytest.raises(DecaySpaceError, match="positive"):
+            DecaySpace.from_distances(np.zeros((2, 2)), 0.0)
+
+    def test_from_gains_inverts(self):
+        g = np.array([[np.inf, 0.25], [0.5, np.inf]])
+        space = DecaySpace.from_gains(g)
+        assert space.decay(0, 1) == pytest.approx(4.0)
+        assert space.decay(1, 0) == pytest.approx(2.0)
+        assert space.decay(0, 0) == 0.0
+
+    def test_from_gains_rejects_nonpositive(self):
+        with pytest.raises(DecaySpaceError, match="positive"):
+            DecaySpace.from_gains(np.array([[1.0, -1.0], [1.0, 1.0]]))
+
+    def test_from_points_requires_2d(self):
+        with pytest.raises(DecaySpaceError, match="2-D"):
+            DecaySpace.from_points(np.array([1.0, 2.0]), 2.0)
+
+
+class TestAccessors:
+    def test_decay_and_gain(self):
+        space = DecaySpace(small_matrix())
+        assert space.decay(1, 0) == 2.0
+        assert space.gain(1, 0) == pytest.approx(0.5)
+        assert space.gain(0, 0) == np.inf
+
+    def test_min_max_ratio(self):
+        space = DecaySpace(small_matrix())
+        assert space.min_decay() == 1.0
+        assert space.max_decay() == 8.0
+        assert space.decay_ratio() == pytest.approx(8.0)
+
+    def test_off_diagonal_size(self):
+        space = DecaySpace(small_matrix())
+        assert space.off_diagonal().shape == (6,)
+
+    def test_len(self):
+        assert len(DecaySpace(small_matrix())) == 3
+
+    def test_zeta_upper_bound(self):
+        space = DecaySpace(small_matrix())
+        assert space.zeta_upper_bound() == pytest.approx(np.log2(8.0))
+
+    def test_labels_preserved(self):
+        space = DecaySpace(small_matrix(), labels=["a", "b", "c"])
+        assert space.labels == ("a", "b", "c")
+
+
+class TestStructure:
+    def test_symmetry_detection(self):
+        assert not DecaySpace(small_matrix()).is_symmetric()
+        sym = random_decay_matrix(5, seed=1, symmetric=True)
+        assert DecaySpace(sym).is_symmetric()
+
+    @pytest.mark.parametrize(
+        "how,expected",
+        [("max", 2.0), ("min", 1.0), ("mean", 1.5), ("geomean", np.sqrt(2.0))],
+    )
+    def test_symmetrized(self, how, expected):
+        space = DecaySpace(small_matrix())
+        out = space.symmetrized(how)
+        assert out.is_symmetric()
+        assert out.decay(0, 1) == pytest.approx(expected)
+
+    def test_symmetrized_rejects_unknown(self):
+        with pytest.raises(DecaySpaceError, match="symmetrization"):
+            DecaySpace(small_matrix()).symmetrized("median")
+
+    def test_restrict(self):
+        space = DecaySpace(small_matrix(), labels=["a", "b", "c"])
+        sub = space.restrict([2, 0])
+        assert sub.n == 2
+        assert sub.decay(0, 1) == 3.0  # f(c, a)
+        assert sub.labels == ("c", "a")
+
+    def test_restrict_rejects_bad_indices(self):
+        space = DecaySpace(small_matrix())
+        with pytest.raises(DecaySpaceError, match="empty"):
+            space.restrict([])
+        with pytest.raises(DecaySpaceError, match="distinct"):
+            space.restrict([0, 0])
+        with pytest.raises(DecaySpaceError, match="range"):
+            space.restrict([0, 7])
+
+    def test_ball_semantics(self):
+        # Ball contains nodes with decay TOWARDS the center below radius.
+        space = DecaySpace(small_matrix())
+        assert set(space.ball(0, 2.5)) == {0, 1}  # f(1,0)=2 < 2.5; f(2,0)=3
+        assert set(space.ball(0, 3.5)) == {0, 1, 2}
+
+    def test_equality_and_hash(self):
+        a = DecaySpace(small_matrix())
+        b = DecaySpace(small_matrix())
+        c = DecaySpace(small_matrix() * 2.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestQuasiDistances:
+    def test_quasi_distance_exponent(self):
+        space = DecaySpace.from_points(np.array([[0, 0], [2, 0], [5, 0]]), 3.0)
+        d = space.quasi_distances()
+        assert d[0, 1] == pytest.approx(2.0, rel=1e-3)
+        assert d[0, 2] == pytest.approx(5.0, rel=1e-3)
+
+    def test_explicit_zeta(self):
+        space = DecaySpace(small_matrix())
+        d = space.quasi_distances(zeta=2.0)
+        assert d[1, 2] == pytest.approx(np.sqrt(8.0))
+
+    def test_induced_quasimetric_satisfies_triangle(self, planar_space):
+        qm = planar_space.induced_quasimetric()
+        assert qm.n == planar_space.n
+
+
+@given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=99))
+def test_random_spaces_roundtrip(n, seed):
+    """Any valid decay matrix builds a space; restriction preserves decays."""
+    f = random_decay_matrix(n, seed=seed, symmetric=False)
+    space = DecaySpace(f)
+    sub = space.restrict(range(n - 1))
+    assert np.allclose(sub.f, f[: n - 1, : n - 1])

@@ -1,0 +1,153 @@
+"""Tests for repro.core.feasibility (feasibility + Lemma B.1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.feasibility import (
+    feasibility_margin,
+    is_feasible,
+    is_k_feasible,
+    signal_strengthening,
+    strengthening_class_bound,
+)
+from repro.core.power import uniform_power
+from repro.core.sinr import is_sinr_feasible
+from repro.errors import LinkError
+from tests.conftest import make_planar_links
+
+
+class TestFeasibility:
+    def test_matches_sinr(self):
+        links = make_planar_links(6, alpha=3.0, seed=4)
+        powers = uniform_power(links)
+        for k in (1, 2, 3):
+            for combo in itertools.combinations(range(6), k):
+                assert is_feasible(links, list(combo), powers) == is_sinr_feasible(
+                    links, powers, list(combo)
+                )
+
+    def test_downward_closed_exhaustive(self):
+        links = make_planar_links(6, alpha=3.0, seed=9)
+        powers = uniform_power(links)
+        full = [s for s in range(6)]
+        feasible_sets = [
+            set(c)
+            for k in range(1, 7)
+            for c in itertools.combinations(full, k)
+            if is_feasible(links, list(c), powers)
+        ]
+        for s in feasible_sets:
+            for drop in s:
+                smaller = sorted(s - {drop})
+                if smaller:
+                    assert is_feasible(links, smaller, powers)
+
+    def test_singletons_always_feasible_without_noise(self):
+        links = make_planar_links(5, alpha=3.0, seed=2)
+        powers = uniform_power(links)
+        for v in range(5):
+            assert is_feasible(links, [v], powers)
+
+    def test_margin(self):
+        links = make_planar_links(6, alpha=3.0, seed=4)
+        powers = uniform_power(links)
+        sub = [0, 1, 2]
+        margin = feasibility_margin(links, sub, powers)
+        assert (margin <= 1.0) == is_feasible(links, sub, powers)
+        assert feasibility_margin(links, [0], powers) == 0.0
+
+    def test_k_feasible_nested(self):
+        links = make_planar_links(8, alpha=3.0, seed=5)
+        powers = uniform_power(links)
+        for combo in itertools.combinations(range(8), 2):
+            if is_k_feasible(links, list(combo), powers, 4.0):
+                assert is_k_feasible(links, list(combo), powers, 2.0)
+                assert is_feasible(links, list(combo), powers)
+
+
+class TestStrengtheningBound:
+    @pytest.mark.parametrize(
+        "p,q,expected", [(1.0, 1.0, 4), (1.0, 2.0, 16), (2.0, 3.0, 9)]
+    )
+    def test_bound_values(self, p, q, expected):
+        assert strengthening_class_bound(p, q) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            strengthening_class_bound(0.0, 1.0)
+
+
+def _max_feasible(links, powers):
+    from repro.algorithms.capacity_opt import capacity_optimum
+
+    subset, _ = capacity_optimum(links, powers)
+    return subset
+
+
+class TestSignalStrengthening:
+    def test_output_partitions_input(self):
+        links = make_planar_links(12, alpha=3.0, seed=7)
+        powers = uniform_power(links)
+        subset = _max_feasible(links, powers)
+        classes = signal_strengthening(links, subset, powers, 1.0, 2.0)
+        merged = sorted(int(v) for cls in classes for v in cls)
+        assert merged == sorted(subset)
+
+    @pytest.mark.parametrize("q", [1.0, 2.0, 4.0])
+    def test_classes_are_q_feasible_and_bounded(self, q):
+        for seed in (1, 2, 3):
+            links = make_planar_links(12, alpha=3.0, seed=seed)
+            powers = uniform_power(links)
+            subset = _max_feasible(links, powers)
+            classes = signal_strengthening(links, subset, powers, 1.0, q)
+            assert len(classes) <= strengthening_class_bound(1.0, q)
+            for cls in classes:
+                assert is_k_feasible(links, cls, powers, q)
+
+    def test_rejects_infeasible_input(self):
+        links = make_planar_links(10, alpha=3.0, seed=1)
+        powers = uniform_power(links)
+        all_links = list(range(10))
+        if not is_feasible(links, all_links, powers):
+            with pytest.raises(LinkError, match="not 1.0-feasible|not 1-feasible"):
+                signal_strengthening(links, all_links, powers, 1.0, 2.0)
+
+    def test_rejects_q_below_p(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        powers = uniform_power(links)
+        with pytest.raises(ValueError, match="q >= p"):
+            signal_strengthening(links, [0], powers, 2.0, 1.0)
+
+    def test_rejects_duplicate_indices(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        powers = uniform_power(links)
+        with pytest.raises(LinkError, match="distinct"):
+            signal_strengthening(links, [0, 0], powers, 1.0, 2.0)
+
+    def test_singleton_passthrough(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        powers = uniform_power(links)
+        classes = signal_strengthening(links, [2], powers, 1.0, 4.0)
+        assert len(classes) == 1 and list(classes[0]) == [2]
+
+
+@given(
+    st.integers(min_value=6, max_value=12),
+    st.integers(min_value=0, max_value=40),
+    st.floats(min_value=1.0, max_value=8.0),
+)
+def test_strengthening_property(n_links, seed, q):
+    """Lemma B.1 as a property: q-feasible classes within the class bound."""
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    powers = uniform_power(links)
+    subset = _max_feasible(links, powers)
+    classes = signal_strengthening(links, subset, powers, 1.0, q)
+    assert len(classes) <= strengthening_class_bound(1.0, q)
+    for cls in classes:
+        assert is_k_feasible(links, cls, powers, q)

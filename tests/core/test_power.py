@@ -1,0 +1,95 @@
+"""Tests for repro.core.power (Sec. 2.4 monotone assignments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.core.power import (
+    is_monotone,
+    linear_power,
+    mean_power,
+    monotonicity_violation,
+    oblivious_power,
+    uniform_power,
+)
+from repro.errors import PowerError
+
+
+@pytest.fixture
+def links() -> LinkSet:
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0], [8.0, 0.0],
+                    [0.0, 5.0], [2.5, 5.0]])
+    space = DecaySpace.from_points(pts, 2.0)
+    return LinkSet(space, [(0, 1), (2, 3), (4, 5)])  # lengths 1, 9, 6.25
+
+
+class TestFamilies:
+    def test_uniform(self, links):
+        p = uniform_power(links, 2.5)
+        assert np.all(p == 2.5)
+        assert is_monotone(links, p)
+
+    def test_uniform_rejects_nonpositive(self, links):
+        with pytest.raises(PowerError, match="positive"):
+            uniform_power(links, 0.0)
+
+    def test_linear_equalizes_received_signal(self, links):
+        p = linear_power(links, scale=3.0)
+        received = p / links.lengths
+        assert np.allclose(received, 3.0)
+        assert is_monotone(links, p)
+
+    def test_mean_power(self, links):
+        p = mean_power(links)
+        assert np.allclose(p, np.sqrt(links.lengths))
+        assert is_monotone(links, p)
+
+    @pytest.mark.parametrize("tau", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_oblivious_family_monotone_in_range(self, links, tau):
+        assert is_monotone(links, oblivious_power(links, tau))
+
+    @pytest.mark.parametrize("tau", [-0.5, 1.5])
+    def test_oblivious_outside_range_not_monotone(self, links, tau):
+        assert not is_monotone(links, oblivious_power(links, tau))
+
+    def test_oblivious_rejects_bad_scale(self, links):
+        with pytest.raises(PowerError, match="positive"):
+            oblivious_power(links, 0.5, scale=-1.0)
+
+
+class TestMonotonicity:
+    def test_violation_reports_pair(self, links):
+        # Decreasing power with length violates condition 1.
+        p = np.array([3.0, 1.0, 2.0])
+        pair = monotonicity_violation(links, p)
+        assert pair is not None
+        v, w = pair
+        assert links.length(v) <= links.length(w)
+
+    def test_signal_condition_violation(self, links):
+        # Growing received signal with length violates condition 2.
+        lengths = links.lengths
+        p = lengths**2  # P/f = f, increasing
+        assert not is_monotone(links, p)
+
+    def test_equal_lengths_force_equal_powers(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 3.0], [1.0, 3.0]])
+        space = DecaySpace.from_points(pts, 2.0)
+        links = LinkSet(space, [(0, 1), (2, 3)])  # equal lengths
+        assert is_monotone(links, np.array([2.0, 2.0]))
+        assert not is_monotone(links, np.array([1.0, 2.0]))
+
+    def test_shape_validation(self, links):
+        with pytest.raises(PowerError, match="shape"):
+            is_monotone(links, np.ones(5))
+
+    def test_rejects_nonpositive_powers(self, links):
+        with pytest.raises(PowerError, match="positive"):
+            is_monotone(links, np.array([1.0, -1.0, 1.0]))
+
+    def test_rejects_nonfinite_powers(self, links):
+        with pytest.raises(PowerError, match="positive and finite"):
+            is_monotone(links, np.array([1.0, np.inf, 1.0]))

@@ -1,0 +1,123 @@
+"""Tests for analytic Rayleigh success probabilities ([10])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.power import uniform_power
+from repro.core.rayleigh import (
+    expected_successes,
+    rayleigh_success_probabilities,
+    thresholding_gap,
+)
+from repro.distributed.radio import reception_matrix
+from repro.errors import PowerError
+from tests.conftest import make_planar_links
+
+
+class TestClosedForm:
+    def test_isolated_link_no_noise_certain(self):
+        links = make_planar_links(3, alpha=3.0, seed=1)
+        p = uniform_power(links)
+        probs = rayleigh_success_probabilities(links, p, [0])
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_noise_only_formula(self):
+        # P[X >= beta*N] = exp(-beta*N/mean) for exponential X.
+        links = make_planar_links(2, alpha=3.0, seed=2, extent=100.0)
+        p = uniform_power(links, 5.0)
+        mean_signal = 5.0 / links.length(0)
+        probs = rayleigh_success_probabilities(
+            links, p, [0], noise=0.1, beta=2.0
+        )
+        assert probs[0] == pytest.approx(np.exp(-2.0 * 0.1 / mean_signal))
+
+    def test_single_interferer_formula(self):
+        links = make_planar_links(2, alpha=3.0, seed=3)
+        p = uniform_power(links)
+        probs = rayleigh_success_probabilities(links, p, [0, 1], beta=1.0)
+        cross = links.cross_decay
+        for v, w in ((0, 1), (1, 0)):
+            mean_signal = 1.0 / cross[v, v]
+            mean_interf = 1.0 / cross[w, v]
+            expected = 1.0 / (1.0 + mean_interf / mean_signal)
+            assert probs[v] == pytest.approx(expected)
+
+    def test_probabilities_in_unit_interval(self):
+        links = make_planar_links(10, alpha=3.0, seed=4)
+        p = uniform_power(links)
+        probs = rayleigh_success_probabilities(
+            links, p, list(range(10)), noise=0.001, beta=1.5
+        )
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_more_interference_lower_probability(self):
+        links = make_planar_links(8, alpha=3.0, seed=5)
+        p = uniform_power(links)
+        small = rayleigh_success_probabilities(links, p, [0, 1])
+        large = rayleigh_success_probabilities(links, p, list(range(8)))
+        assert large[0] <= small[0] + 1e-12
+
+    def test_empty_active(self):
+        links = make_planar_links(3, alpha=3.0, seed=6)
+        probs = rayleigh_success_probabilities(links, uniform_power(links), [])
+        assert probs.shape == (0,)
+
+    def test_validation(self):
+        links = make_planar_links(3, alpha=3.0, seed=6)
+        p = uniform_power(links)
+        with pytest.raises(PowerError):
+            rayleigh_success_probabilities(links, p, [0], beta=0.0)
+        with pytest.raises(PowerError):
+            rayleigh_success_probabilities(links, p, [0], noise=-1.0)
+
+
+class TestMonteCarloAgreement:
+    def test_matches_simulated_rayleigh(self):
+        """The radio layer's Rayleigh mode follows the closed form."""
+        links = make_planar_links(5, alpha=3.0, seed=7)
+        space = links.space
+        p = uniform_power(links)
+        active = list(range(5))
+        analytic = rayleigh_success_probabilities(links, p, active, beta=1.0)
+
+        rng = np.random.default_rng(11)
+        trials = 4000
+        hits = np.zeros(5)
+        senders = links.senders[active]
+        receivers = links.receivers[active]
+        for _ in range(trials):
+            ok = reception_matrix(
+                space, list(senders), 1.0, beta=1.0, rayleigh=True, rng=rng
+            )
+            for i in range(5):
+                if ok[i, receivers[i]]:
+                    hits[i] += 1
+        empirical = hits / trials
+        assert np.allclose(empirical, analytic, atol=0.035)
+
+    def test_expected_successes_sum(self):
+        links = make_planar_links(6, alpha=3.0, seed=8)
+        p = uniform_power(links)
+        active = list(range(6))
+        total = expected_successes(links, p, active)
+        probs = rayleigh_success_probabilities(links, p, active)
+        assert total == pytest.approx(float(probs.sum()))
+
+
+class TestThresholdingGap:
+    def test_gap_sign_structure(self):
+        links = make_planar_links(8, alpha=3.0, seed=9)
+        p = uniform_power(links)
+        gap = thresholding_gap(links, p, list(range(8)))
+        # Deterministic success minus a probability: gap in [-1, 1].
+        assert np.all((gap >= -1.0) & (gap <= 1.0))
+
+    def test_isolated_links_small_gap(self):
+        links = make_planar_links(4, alpha=3.0, seed=10, extent=500.0)
+        p = uniform_power(links)
+        gap = thresholding_gap(links, p, list(range(4)))
+        # Interference is residual (links ~500 units apart): both models
+        # succeed almost surely.
+        assert np.allclose(gap, 0.0, atol=1e-4)

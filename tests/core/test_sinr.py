@@ -1,0 +1,97 @@
+"""Tests for repro.core.sinr (Eq. (1) and thresholding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.core.sinr import (
+    interference,
+    is_sinr_feasible,
+    received_powers,
+    sinr,
+    successful,
+)
+from repro.errors import PowerError
+
+
+@pytest.fixture
+def links() -> LinkSet:
+    f = np.array(
+        [
+            [0.0, 2.0, 8.0, 10.0],
+            [2.0, 0.0, 5.0, 4.0],
+            [8.0, 5.0, 0.0, 1.0],
+            [10.0, 4.0, 1.0, 0.0],
+        ]
+    )
+    return LinkSet(DecaySpace(f), [(0, 1), (2, 3)])
+
+
+class TestReceivedPowers:
+    def test_matrix(self, links):
+        r = received_powers(links, np.array([2.0, 3.0]), [0, 1])
+        assert r[0, 0] == pytest.approx(1.0)  # 2 / f(0,1)=2
+        assert r[0, 1] == pytest.approx(0.2)  # 2 / f(0,3)=10
+        assert r[1, 0] == pytest.approx(0.6)  # 3 / f(2,1)=5
+        assert r[1, 1] == pytest.approx(3.0)  # 3 / f(2,3)=1
+
+    def test_out_of_range_active(self, links):
+        with pytest.raises(PowerError, match="range"):
+            received_powers(links, np.ones(2), [0, 5])
+
+
+class TestSINR:
+    def test_values(self, links):
+        p = np.array([2.0, 3.0])
+        s = sinr(links, p, [0, 1])
+        assert s[0] == pytest.approx(1.0 / 0.6)
+        assert s[1] == pytest.approx(3.0 / 0.2)
+
+    def test_noise_lowers_sinr(self, links):
+        p = np.array([2.0, 3.0])
+        s0 = sinr(links, p, [0, 1], noise=0.0)
+        s1 = sinr(links, p, [0, 1], noise=0.5)
+        assert np.all(s1 < s0)
+
+    def test_isolated_link_no_noise_is_infinite(self, links):
+        s = sinr(links, np.ones(2), [0])
+        assert s[0] == np.inf
+
+    def test_isolated_link_with_noise(self, links):
+        s = sinr(links, np.ones(2), [1], noise=0.25)
+        # Signal 1/f(2,3) = 1; SINR = 1/0.25.
+        assert s[0] == pytest.approx(4.0)
+
+    def test_interference_vector(self, links):
+        p = np.array([2.0, 3.0])
+        i = interference(links, p, [0, 1], noise=0.1)
+        assert i[0] == pytest.approx(0.7)
+        assert i[1] == pytest.approx(0.3)
+
+
+class TestThresholding:
+    def test_successful(self, links):
+        p = np.array([2.0, 3.0])
+        ok = successful(links, p, [0, 1], beta=2.0)
+        assert list(ok) == [False, True]
+
+    def test_beta_validation(self, links):
+        with pytest.raises(PowerError, match="positive"):
+            successful(links, np.ones(2), [0], beta=0.0)
+
+    def test_feasibility(self, links):
+        p = np.array([2.0, 3.0])
+        assert is_sinr_feasible(links, p, [0], beta=1.0)
+        assert is_sinr_feasible(links, p, [0, 1], beta=1.0)
+        assert not is_sinr_feasible(links, p, [0, 1], beta=2.0)
+
+    def test_empty_set_feasible(self, links):
+        assert is_sinr_feasible(links, np.ones(2), [])
+
+    def test_feasibility_depends_on_power(self, links):
+        # Boosting link 0 makes it pass at beta=2; link 1 keeps a margin.
+        assert not is_sinr_feasible(links, np.array([2.0, 3.0]), [0, 1], beta=2.0)
+        assert is_sinr_feasible(links, np.array([8.0, 3.0]), [0, 1], beta=2.0)

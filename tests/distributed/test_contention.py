@@ -1,0 +1,68 @@
+"""Tests for channel-based neighborhood estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.contention import busy_fraction, estimate_neighborhood_size
+from repro.errors import SimulationError
+from repro.spaces.constructions import line_space, uniform_space
+
+
+class TestBusyFraction:
+    def test_no_candidates(self):
+        space = line_space(3)
+        frac = busy_fraction(
+            space, 0, [0], probability=0.5, slots=10,
+            rng=np.random.default_rng(1),
+        )
+        assert frac == 0.0
+
+    def test_always_on_neighbors(self):
+        space = uniform_space(4, c=1.0)
+        frac = busy_fraction(
+            space, 0, [1, 2, 3], probability=0.99, slots=50,
+            sense_threshold=0.5, rng=np.random.default_rng(2),
+        )
+        assert frac > 0.9
+
+    def test_validation(self):
+        space = line_space(3)
+        with pytest.raises(SimulationError):
+            busy_fraction(space, 0, [1], probability=0.0, slots=10)
+        with pytest.raises(SimulationError):
+            busy_fraction(space, 0, [1], probability=0.5, slots=0)
+
+
+class TestEstimate:
+    def test_close_to_truth(self):
+        # Uniform space with decay 1: at radius 1 every other node audible.
+        space = uniform_space(8, c=1.0)
+        est = estimate_neighborhood_size(
+            space, 0, radius=1.0, probability=0.1, slots=3000,
+            rng=np.random.default_rng(3),
+        )
+        assert est == pytest.approx(7, abs=1.5)
+
+    def test_zero_neighbors(self):
+        # Radius far below every decay: nothing audible.
+        space = line_space(4, spacing=2.0, alpha=2.0)
+        est = estimate_neighborhood_size(
+            space, 0, radius=0.5, probability=0.2, slots=200,
+            rng=np.random.default_rng(4),
+        )
+        assert est == 0.0
+
+    def test_saturation_reports_upper_bound(self):
+        space = uniform_space(40, c=1.0)
+        est = estimate_neighborhood_size(
+            space, 0, radius=1.0, probability=0.9, slots=50,
+            rng=np.random.default_rng(5),
+        )
+        assert est > 0.0 and np.isfinite(est)
+
+    def test_validation(self):
+        space = line_space(3)
+        with pytest.raises(SimulationError, match="radius"):
+            estimate_neighborhood_size(space, 0, radius=0.0)

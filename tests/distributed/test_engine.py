@@ -1,0 +1,132 @@
+"""Tests for the slot-synchronous execution engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.engine import Agent, Message, SlotSimulator
+from repro.errors import SimulationError
+from repro.spaces.constructions import line_space
+
+
+class Beacon(Agent):
+    """Transmits every slot until `stop_after` transmissions."""
+
+    def __init__(self, node: int, stop_after: int = 10**9) -> None:
+        super().__init__(node)
+        self.sent = 0
+        self.stop_after = stop_after
+
+    def decide(self, slot, rng):
+        if self.sent >= self.stop_after:
+            return None
+        self.sent += 1
+        return Message(origin=self.node, payload=("beacon", slot))
+
+    def is_done(self):
+        return self.sent >= self.stop_after
+
+
+class Listener(Agent):
+    def __init__(self, node: int) -> None:
+        super().__init__(node)
+        self.inbox: list[tuple[int, int]] = []
+
+    def decide(self, slot, rng):
+        return None
+
+    def on_receive(self, slot, sender, message):
+        self.inbox.append((slot, sender))
+
+    def is_done(self):
+        return bool(self.inbox)
+
+
+class TestSimulator:
+    def test_delivery(self):
+        space = line_space(3, spacing=1.0, alpha=2.0)
+        beacon = Beacon(0, stop_after=1)
+        listener = Listener(2)
+        sim = SlotSimulator(space, [beacon, listener], seed=1)
+        transcript = sim.run(max_slots=5)
+        assert transcript.completed_at == 1
+        assert listener.inbox == [(0, 0)]
+        assert transcript.records[0].transmitters == (0,)
+        assert (0, 2) in transcript.records[0].deliveries
+
+    def test_collision_blocks_delivery(self):
+        # Two beacons equidistant from the listener at beta > 1: collision.
+        space = line_space(3, spacing=1.0, alpha=2.0)
+        a, b = Beacon(0, stop_after=1), Beacon(2, stop_after=1)
+        listener = Listener(1)
+        sim = SlotSimulator(space, [a, b, listener], beta=1.5, seed=1)
+        transcript = sim.run(max_slots=3)
+        assert listener.inbox == []
+        assert transcript.completed_at is None  # listener never done
+
+    def test_run_stops_at_budget(self):
+        space = line_space(2, spacing=1.0, alpha=2.0)
+        sim = SlotSimulator(space, [Beacon(0)], seed=1)
+        transcript = sim.run(max_slots=4)
+        assert transcript.slots == 4
+        assert transcript.completed_at is None
+
+    def test_delivery_count(self):
+        space = line_space(2, spacing=1.0, alpha=2.0)
+        beacon = Beacon(0, stop_after=3)
+        listener = Listener(1)
+        sim = SlotSimulator(space, [beacon, listener], seed=1)
+        transcript = sim.run(max_slots=10)
+        assert transcript.delivery_count() >= 1
+
+    def test_silent_nodes_do_not_receive(self):
+        # Node 1 has no agent: deliveries to it are not recorded.
+        space = line_space(3, spacing=1.0, alpha=2.0)
+        beacon = Beacon(0, stop_after=1)
+        sim = SlotSimulator(space, [beacon], seed=1)
+        transcript = sim.run(max_slots=1)
+        assert transcript.records[0].deliveries == ()
+
+
+class TestValidation:
+    def test_rejects_no_agents(self):
+        space = line_space(2)
+        with pytest.raises(SimulationError, match="at least one"):
+            SlotSimulator(space, [])
+
+    def test_rejects_duplicate_nodes(self):
+        space = line_space(3)
+        with pytest.raises(SimulationError, match="distinct"):
+            SlotSimulator(space, [Beacon(0), Listener(0)])
+
+    def test_rejects_out_of_range(self):
+        space = line_space(2)
+        with pytest.raises(SimulationError, match="range"):
+            SlotSimulator(space, [Beacon(5)])
+
+    def test_rejects_bad_budget(self):
+        space = line_space(2)
+        sim = SlotSimulator(space, [Beacon(0)])
+        with pytest.raises(SimulationError, match="max_slots"):
+            sim.run(max_slots=0)
+
+    def test_seed_reproducibility(self):
+        space = line_space(4, spacing=1.0, alpha=2.0)
+
+        class Coin(Agent):
+            def __init__(self, node):
+                super().__init__(node)
+                self.choices = []
+
+            def decide(self, slot, rng):
+                bit = rng.random() < 0.5
+                self.choices.append(bit)
+                return Message(self.node) if bit else None
+
+        def run():
+            agents = [Coin(i) for i in range(4)]
+            SlotSimulator(space, agents, seed=33).run(max_slots=6)
+            return [a.choices for a in agents]
+
+        assert run() == run()

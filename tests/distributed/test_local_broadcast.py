@@ -1,0 +1,105 @@
+"""Tests for randomized local broadcast (Sec. 3.3 family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.distributed.local_broadcast import (
+    LocalBroadcastAgent,
+    neighborhoods,
+    run_local_broadcast,
+)
+from repro.errors import SimulationError
+from repro.spaces.constructions import line_space
+
+
+class TestNeighborhoods:
+    def test_decay_semantics(self):
+        space = line_space(5, spacing=1.0, alpha=2.0)
+        neigh = neighborhoods(space, radius=4.0)
+        # From node 0: decays 1, 4, 9, 16 -> radius 4 includes nodes 1, 2.
+        assert list(neigh[0]) == [1, 2]
+        assert list(neigh[2]) == [0, 1, 3, 4]
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(SimulationError, match="positive"):
+            neighborhoods(line_space(3), 0.0)
+
+    def test_asymmetric_spaces(self):
+        f = np.array(
+            [
+                [0.0, 1.0, 9.0],
+                [5.0, 0.0, 1.0],
+                [1.0, 9.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        neigh = neighborhoods(space, radius=2.0)
+        # Neighborhood of v uses f(v, u): who can hear v.
+        assert list(neigh[0]) == [1]
+        assert list(neigh[1]) == [2]
+
+
+class TestAgent:
+    def test_probability_scales_with_degree(self):
+        quiet = LocalBroadcastAgent(0, degree=10, aggressiveness=1.0)
+        loud = LocalBroadcastAgent(1, degree=1, aggressiveness=1.0)
+        assert quiet.probability == pytest.approx(0.1)
+        assert loud.probability == pytest.approx(1.0)
+
+    def test_release_stops_transmission(self):
+        agent = LocalBroadcastAgent(0, degree=1, aggressiveness=1.0)
+        rng = np.random.default_rng(1)
+        assert agent.decide(0, rng) is not None
+        agent.release()
+        assert agent.decide(1, rng) is None
+        assert agent.is_done()
+
+    def test_rejects_bad_aggressiveness(self):
+        with pytest.raises(SimulationError):
+            LocalBroadcastAgent(0, degree=1, aggressiveness=0.0)
+
+
+class TestRun:
+    def test_completes_on_small_line(self):
+        space = line_space(5, spacing=1.0, alpha=3.0)
+        result = run_local_broadcast(
+            space, radius=1.5, aggressiveness=0.5, max_slots=5000, seed=3
+        )
+        assert result.completed
+        assert result.coverage == 1.0
+        assert 1 <= result.slots <= 5000
+
+    def test_deterministic(self):
+        space = line_space(5, spacing=1.0, alpha=3.0)
+        a = run_local_broadcast(space, radius=1.5, max_slots=5000, seed=9)
+        b = run_local_broadcast(space, radius=1.5, max_slots=5000, seed=9)
+        assert a == b
+
+    def test_budget_exhaustion_reports_coverage(self):
+        space = line_space(8, spacing=1.0, alpha=2.0)
+        result = run_local_broadcast(
+            space, radius=36.0, aggressiveness=0.3, max_slots=2, seed=1
+        )
+        assert not result.completed
+        assert 0.0 <= result.coverage < 1.0
+        assert result.slots == 2
+
+    def test_isolated_nodes_complete_immediately(self):
+        # Radius below the smallest decay: no pairs to serve.
+        space = line_space(4, spacing=2.0, alpha=2.0)
+        result = run_local_broadcast(space, radius=0.5, max_slots=10, seed=1)
+        assert result.completed
+        assert result.slots == 1
+        assert result.total_pairs == 0
+
+    def test_total_pairs_counts_required_deliveries(self):
+        space = line_space(3, spacing=1.0, alpha=2.0)
+        result = run_local_broadcast(
+            space, radius=1.5, aggressiveness=0.5, max_slots=5000, seed=2
+        )
+        # Neighborhoods at radius 1.5: 0->{1}, 1->{0,2}, 2->{1}: 4 pairs.
+        assert result.total_pairs == 4
+        assert result.completed

@@ -1,0 +1,99 @@
+"""Tests for the SINR radio layer of the distributed simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.distributed.radio import reception_matrix, receptions
+from repro.errors import SimulationError
+from repro.spaces.constructions import line_space
+
+
+@pytest.fixture
+def space() -> DecaySpace:
+    return line_space(5, spacing=1.0, alpha=2.0)
+
+
+class TestReceptionMatrix:
+    def test_single_transmitter_reaches_everyone(self, space):
+        ok = reception_matrix(space, [0], beta=1.0)
+        # No interference, no noise: everyone else decodes.
+        assert ok.shape == (1, 5)
+        assert not ok[0, 0]  # half-duplex
+        assert all(ok[0, v] for v in range(1, 5))
+
+    def test_noise_limits_range(self, space):
+        # SINR = (1/d^2)/N >= 1 iff d^2 <= 1/N.
+        ok = reception_matrix(space, [0], powers=1.0, noise=0.2, beta=1.0)
+        # d=1,2: 1/0.2=5, 0.25/0.2=1.25 pass; d=3: 1/9/0.2 = 0.55 fail.
+        assert list(ok[0]) == [False, True, True, False, False]
+
+    def test_two_transmitters_capture(self, space):
+        ok = reception_matrix(space, [0, 4], beta=1.0)
+        tx0, tx4 = 0, 1
+        # Node 1: signal from 0 at distance 1 vs interference 1/9 -> decode.
+        assert ok[tx0, 1]
+        # Node 1 cannot decode node 4: 1/9 against interference 1.
+        assert not ok[tx4, 1]
+        # Middle node 2 sees both at SINR exactly 1 = beta: threshold is
+        # inclusive, so both pass (degenerate tie allowed by the model).
+        assert ok[tx0, 2] and ok[tx4, 2]
+        # At beta just above 1, the tie breaks to neither.
+        strict = reception_matrix(space, [0, 4], beta=1.01)
+        assert not strict[tx0, 2] and not strict[tx4, 2]
+
+    def test_transmitters_never_receive(self, space):
+        ok = reception_matrix(space, [0, 1], beta=1.0)
+        assert not ok[:, 0].any() and not ok[:, 1].any()
+
+    def test_duplicate_transmitters_rejected(self, space):
+        with pytest.raises(SimulationError, match="duplicates"):
+            reception_matrix(space, [0, 0])
+
+    def test_empty_transmitters(self, space):
+        ok = reception_matrix(space, [])
+        assert ok.shape == (0, 5)
+
+    def test_bad_params(self, space):
+        with pytest.raises(SimulationError):
+            reception_matrix(space, [0], beta=0.0)
+        with pytest.raises(SimulationError):
+            reception_matrix(space, [0], noise=-1.0)
+        with pytest.raises(SimulationError):
+            reception_matrix(space, [0], powers=0.0)
+
+    def test_rayleigh_requires_rng(self, space):
+        with pytest.raises(SimulationError, match="rng"):
+            reception_matrix(space, [0], rayleigh=True)
+
+    def test_rayleigh_randomizes(self, space):
+        rng = np.random.default_rng(5)
+        outcomes = set()
+        for _ in range(30):
+            ok = reception_matrix(
+                space, [0, 4], beta=1.0, rayleigh=True, rng=rng
+            )
+            outcomes.add(ok.tobytes())
+        assert len(outcomes) > 1
+
+    def test_per_transmitter_powers(self, space):
+        # Boost node 4 so it captures node 2 against node 0.
+        ok = reception_matrix(space, [0, 4], powers=np.array([1.0, 10.0]))
+        assert ok[1, 2] and not ok[0, 2]
+
+
+class TestReceptions:
+    def test_pairs_format(self, space):
+        pairs = receptions(space, [0], beta=1.0)
+        assert (0, 1) in pairs and (0, 4) in pairs
+        assert all(t == 0 for t, _ in pairs)
+
+    def test_matches_matrix(self, space):
+        tx = [1, 3]
+        ok = reception_matrix(space, tx, beta=1.0)
+        pairs = set(receptions(space, tx, beta=1.0))
+        for t_pos, t in enumerate(tx):
+            for v in range(space.n):
+                assert ((t, v) in pairs) == bool(ok[t_pos, v])

@@ -1,0 +1,64 @@
+"""Tests for no-regret distributed capacity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.distributed.regret_capacity import run_regret_capacity
+from repro.errors import SimulationError
+from tests.conftest import make_planar_links
+
+
+class TestRegretCapacity:
+    def test_trivial_instance_all_transmit(self):
+        # Far-apart links: everyone should learn to transmit.
+        links = make_planar_links(5, alpha=3.0, seed=1, extent=500.0)
+        result = run_regret_capacity(links, rounds=600, seed=2)
+        assert result.best_size == 5
+        assert np.all(result.final_probabilities > 0.8)
+        assert result.mean_successes > 4.0
+
+    def test_best_feasible_is_feasible(self):
+        links = make_planar_links(10, alpha=3.0, seed=3)
+        result = run_regret_capacity(links, rounds=500, seed=4)
+        assert is_feasible(
+            links, list(result.best_feasible), uniform_power(links)
+        )
+
+    def test_reaches_constant_fraction(self):
+        """The amicability-backed guarantee, empirically."""
+        from repro.algorithms.capacity_opt import capacity_optimum
+
+        links = make_planar_links(10, alpha=3.0, seed=5)
+        _, opt = capacity_optimum(links, uniform_power(links))
+        result = run_regret_capacity(links, rounds=1200, seed=6)
+        assert result.best_size >= opt / 2
+
+    def test_deterministic(self):
+        links = make_planar_links(6, alpha=3.0, seed=7)
+        a = run_regret_capacity(links, rounds=200, seed=8)
+        b = run_regret_capacity(links, rounds=200, seed=8)
+        assert a.mean_successes == b.mean_successes
+        assert a.best_feasible == b.best_feasible
+
+    def test_probabilities_shape(self):
+        links = make_planar_links(6, alpha=3.0, seed=9)
+        result = run_regret_capacity(links, rounds=100, seed=1)
+        assert result.final_probabilities.shape == (6,)
+        assert np.all(result.final_probabilities >= 0.0)
+        assert np.all(result.final_probabilities <= 1.0)
+
+    def test_validation(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        with pytest.raises(SimulationError):
+            run_regret_capacity(links, rounds=0)
+        with pytest.raises(SimulationError):
+            run_regret_capacity(links, tail_fraction=0.0)
+
+    def test_rounds_recorded(self):
+        links = make_planar_links(4, alpha=3.0, seed=1)
+        result = run_regret_capacity(links, rounds=77, seed=2)
+        assert result.rounds == 77

@@ -1,0 +1,105 @@
+"""Tests for the queueing/stability simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.scheduling import schedule_first_fit
+from repro.distributed.stability import (
+    lqf_policy,
+    random_policy,
+    run_queue_simulation,
+)
+from repro.errors import SimulationError
+from tests.conftest import make_planar_links
+
+
+class TestPolicies:
+    def test_lqf_prefers_long_queues(self):
+        links = make_planar_links(6, alpha=3.0, seed=1)
+        from repro.core.affectance import affectance_matrix
+        from repro.core.power import uniform_power
+
+        a = affectance_matrix(links, uniform_power(links), clip=False)
+        queues = np.array([0.0, 5.0, 0.0, 1.0, 0.0, 0.0])
+        chosen = lqf_policy(queues, a, np.random.default_rng(1))
+        assert 1 in chosen
+        assert all(queues[v] > 0 for v in chosen)
+
+    def test_lqf_returns_feasible_sets(self):
+        links = make_planar_links(10, alpha=3.0, seed=2)
+        from repro.core.affectance import affectance_matrix
+        from repro.core.feasibility import is_feasible
+        from repro.core.power import uniform_power
+
+        powers = uniform_power(links)
+        a = affectance_matrix(links, powers, clip=False)
+        queues = np.ones(10) * 3.0
+        chosen = lqf_policy(queues, a, np.random.default_rng(2))
+        assert is_feasible(links, list(chosen), powers)
+
+    def test_random_policy_subset_of_backlogged(self):
+        links = make_planar_links(8, alpha=3.0, seed=3)
+        from repro.core.affectance import affectance_matrix
+        from repro.core.power import uniform_power
+
+        a = affectance_matrix(links, uniform_power(links), clip=False)
+        queues = np.array([1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        chosen = random_policy(queues, a, np.random.default_rng(3))
+        assert all(queues[v] > 0 for v in chosen)
+
+
+class TestSimulation:
+    def test_no_arrivals_empty_queues(self):
+        links = make_planar_links(5, alpha=3.0, seed=4)
+        result = run_queue_simulation(links, 0.0, 200, seed=5)
+        assert result.delivered == 0
+        assert np.all(result.final_queues == 0)
+        assert result.drift == pytest.approx(0.0, abs=1e-9)
+
+    def test_low_load_stable(self):
+        links = make_planar_links(8, alpha=3.0, seed=6)
+        rate = 0.4 / schedule_first_fit(links).length
+        result = run_queue_simulation(links, rate, 3000, seed=7)
+        assert result.drift < 0.05
+        assert result.final_queues.mean() < 5.0
+
+    def test_overload_unstable(self):
+        links = make_planar_links(8, alpha=3.0, seed=6)
+        result = run_queue_simulation(links, 1.0, 3000, seed=8)
+        assert result.drift > 0.1
+        assert result.final_queues.mean() > 10.0
+
+    def test_lqf_beats_random_backoff(self):
+        links = make_planar_links(8, alpha=3.0, seed=9)
+        rate = 0.8 / schedule_first_fit(links).length
+        lqf = run_queue_simulation(links, rate, 2500, policy=lqf_policy, seed=10)
+        rnd = run_queue_simulation(
+            links, rate, 2500, policy=random_policy, seed=10
+        )
+        assert lqf.final_queues.mean() <= rnd.final_queues.mean()
+
+    def test_throughput_matches_arrivals_when_stable(self):
+        links = make_planar_links(6, alpha=3.0, seed=11)
+        rate = 0.3 / schedule_first_fit(links).length
+        result = run_queue_simulation(links, rate, 4000, seed=12)
+        # Delivered ~ arrived (queues stay bounded).
+        arrived = rate * 6 * 4000
+        assert result.delivered >= 0.9 * (arrived - result.final_queues.sum())
+
+    def test_deterministic(self):
+        links = make_planar_links(5, alpha=3.0, seed=13)
+        a = run_queue_simulation(links, 0.2, 500, seed=14)
+        b = run_queue_simulation(links, 0.2, 500, seed=14)
+        assert a.delivered == b.delivered
+        assert np.array_equal(a.final_queues, b.final_queues)
+
+    def test_validation(self):
+        links = make_planar_links(4, alpha=3.0, seed=15)
+        with pytest.raises(SimulationError):
+            run_queue_simulation(links, 1.5, 100)
+        with pytest.raises(SimulationError):
+            run_queue_simulation(links, 0.5, 0)
+        with pytest.raises(SimulationError):
+            run_queue_simulation(links, 0.5, 100, sample_every=0)

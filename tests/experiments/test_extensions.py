@@ -1,0 +1,45 @@
+"""Integration tests for the E14-E16 extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exp_extensions import (
+    aggregation_table,
+    inductive_independence_table,
+    rayleigh_gap_table,
+    stability_table,
+)
+
+
+class TestE14Rayleigh:
+    def test_feasible_sets_survive_fading(self):
+        table = rayleigh_gap_table(alphas=(3.0, 4.0), n_links=10)
+        for p_min in table.column("min P[success]"):
+            assert p_min >= 0.25  # Omega(1), comfortably
+        for mean in table.column("mean P[success]"):
+            assert mean >= 0.5
+
+
+class TestE15Inductive:
+    def test_rho_small_everywhere(self):
+        table = inductive_independence_table(n_links=10)
+        for rho in table.column("rho"):
+            assert 0 <= rho <= 5
+
+
+class TestE16Aggregation:
+    def test_all_feasible_and_logarithmic(self):
+        table = aggregation_table(n_nodes=12)
+        assert all(table.column("all feasible"))
+        for levels, n in zip(table.column("levels"), table.column("n")):
+            assert levels < n
+
+    def test_stability_shape(self):
+        table = stability_table(n_links=8, slots=2500)
+        drifts = table.column("LQF drift")
+        # Stable at half load, unstable at 1.5x.
+        assert drifts[0] < 0.1
+        assert drifts[-1] > 0.1
+        rnd = table.column("random drift")
+        assert rnd[-1] >= drifts[0]

@@ -1,0 +1,114 @@
+"""Tests for repro.geometry.antennas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.antennas import (
+    AntennaArray,
+    cardioid_pattern,
+    omni_pattern,
+    sector_pattern,
+)
+
+
+class TestPatterns:
+    def test_omni_unit_everywhere(self):
+        pattern = omni_pattern()
+        theta = np.linspace(-np.pi, np.pi, 17)
+        assert np.allclose(pattern(theta), 1.0)
+
+    def test_cardioid_boresight_and_back(self):
+        pattern = cardioid_pattern(front_to_back_db=10.0)
+        assert pattern(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert pattern(np.array([np.pi]))[0] == pytest.approx(0.1)
+
+    def test_cardioid_monotone_from_boresight(self):
+        pattern = cardioid_pattern(12.0)
+        theta = np.linspace(0, np.pi, 20)
+        g = pattern(theta)
+        assert np.all(np.diff(g) <= 1e-12)
+
+    def test_cardioid_validation(self):
+        with pytest.raises(GeometryError):
+            cardioid_pattern(-3.0)
+
+    def test_sector_inside_outside(self):
+        pattern = sector_pattern(np.pi / 2, sidelobe_db=20.0)
+        assert pattern(np.array([0.0]))[0] == 1.0
+        assert pattern(np.array([np.pi / 4 - 1e-9]))[0] == 1.0
+        assert pattern(np.array([np.pi / 2]))[0] == pytest.approx(0.01)
+
+    def test_sector_wraps_angles(self):
+        pattern = sector_pattern(np.pi / 2)
+        assert pattern(np.array([2 * np.pi]))[0] == 1.0
+
+    def test_sector_validation(self):
+        with pytest.raises(GeometryError):
+            sector_pattern(0.0)
+
+
+class TestAntennaArray:
+    def test_omni_array_is_neutral(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        arr = AntennaArray(pts, np.zeros(3), omni_pattern())
+        assert np.allclose(arr.gain_matrix(), 1.0)
+
+    def test_facing_pair_gains_more(self):
+        # Node 0 faces east towards node 1; node 1 faces west towards node 0.
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        arr = AntennaArray(pts, np.array([0.0, np.pi]), cardioid_pattern(20.0))
+        g = arr.gain_matrix()
+        assert g[0, 1] == pytest.approx(1.0)
+        assert g[1, 0] == pytest.approx(1.0)
+
+    def test_back_to_back_pair_attenuated(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        arr = AntennaArray(pts, np.array([np.pi, 0.0]), cardioid_pattern(20.0))
+        g = arr.gain_matrix()
+        assert g[0, 1] == pytest.approx(0.01 * 0.01)
+
+    def test_shared_pattern_gain_is_symmetric(self):
+        # One shared pattern: the tx*rx product is the same in both
+        # directions, whatever the orientations.
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        arr = AntennaArray(pts, np.array([0.0, np.pi / 2, 1.0]),
+                           cardioid_pattern(15.0))
+        g = arr.gain_matrix()
+        assert np.allclose(g, g.T)
+
+    def test_distinct_rx_pattern_asymmetric_decay(self):
+        # Directional transmit, omni receive: real-hardware asymmetry.
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        arr = AntennaArray(
+            pts,
+            np.array([0.0, np.pi / 2, 1.0]),
+            cardioid_pattern(15.0),
+            rx_pattern=omni_pattern(),
+        )
+        decay = np.ones((3, 3)) * 16.0
+        np.fill_diagonal(decay, 0.0)
+        out = arr.apply(decay)
+        assert not np.allclose(out, out.T)
+
+    def test_apply_divides(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        arr = AntennaArray(pts, np.array([np.pi, 0.0]), cardioid_pattern(20.0))
+        decay = np.array([[0.0, 100.0], [100.0, 0.0]])
+        out = arr.apply(decay)
+        assert out[0, 1] == pytest.approx(100.0 / (0.01 * 0.01))
+        assert np.all(np.diagonal(out) == 0.0)
+
+    def test_random_orientation_deterministic(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        a = AntennaArray.random(pts, omni_pattern(), seed=3)
+        b = AntennaArray.random(pts, omni_pattern(), seed=3)
+        assert np.array_equal(a.orientations, b.orientations)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError, match="planar"):
+            AntennaArray(np.zeros((3, 3)), np.zeros(3), omni_pattern())
+        with pytest.raises(GeometryError, match="orientation"):
+            AntennaArray(np.zeros((3, 2)), np.zeros(2), omni_pattern())

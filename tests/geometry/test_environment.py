@@ -1,0 +1,142 @@
+"""Tests for repro.geometry.environment (walls and floorplans)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.environment import (
+    MATERIAL_LOSS_DB,
+    Environment,
+    Wall,
+    office_floorplan,
+    segments_intersect,
+)
+from repro.geometry.pathloss import decay_to_db
+
+
+class TestWall:
+    def test_construction(self):
+        wall = Wall.of(0, 0, 1, 0, material="concrete")
+        assert wall.loss_db == MATERIAL_LOSS_DB["concrete"]
+        assert wall.material == "concrete"
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError, match="degenerate"):
+            Wall((1.0, 1.0), (1.0, 1.0))
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(GeometryError, match="non-negative"):
+            Wall((0.0, 0.0), (1.0, 0.0), loss_db=-3.0)
+
+    def test_rejects_unknown_material(self):
+        with pytest.raises(GeometryError, match="unknown material"):
+            Wall.of(0, 0, 1, 0, material="adamantium")
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        p = np.array([[0.0, -1.0]])
+        q = np.array([[0.0, 1.0]])
+        hit = segments_intersect(p, q, np.array([-1.0, 0.0]), np.array([1.0, 0.0]))
+        assert bool(hit[0])
+
+    def test_parallel_miss(self):
+        p = np.array([[0.0, 1.0]])
+        q = np.array([[1.0, 1.0]])
+        hit = segments_intersect(p, q, np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert not bool(hit[0])
+
+    def test_collinear_overlap_not_crossing(self):
+        p = np.array([[0.0, 0.0]])
+        q = np.array([[2.0, 0.0]])
+        hit = segments_intersect(p, q, np.array([1.0, 0.0]), np.array([3.0, 0.0]))
+        assert not bool(hit[0])
+
+    def test_short_of_wall(self):
+        p = np.array([[0.0, -2.0]])
+        q = np.array([[0.0, -1.0]])
+        hit = segments_intersect(p, q, np.array([-1.0, 0.0]), np.array([1.0, 0.0]))
+        assert not bool(hit[0])
+
+    def test_vectorized(self):
+        p = np.array([[0.0, -1.0], [5.0, -1.0]])
+        q = np.array([[0.0, 1.0], [5.0, 1.0]])
+        hit = segments_intersect(p, q, np.array([-1.0, 0.0]), np.array([1.0, 0.0]))
+        assert list(hit) == [True, False]
+
+
+class TestEnvironment:
+    def test_wall_crossings_matrix(self):
+        env = Environment(alpha=2.0)
+        env.add_wall(Wall((1.0, -1.0), (1.0, 1.0), loss_db=6.0))
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [0.5, 0.0]])
+        loss = env.wall_crossings(pts)
+        assert loss[0, 1] == 6.0 and loss[1, 0] == 6.0
+        assert loss[0, 2] == 0.0
+        assert np.all(np.diagonal(loss) == 0.0)
+
+    def test_losses_accumulate(self):
+        env = Environment(alpha=2.0)
+        env.add_wall(Wall((1.0, -1.0), (1.0, 1.0), loss_db=6.0))
+        env.add_wall(Wall((1.5, -1.0), (1.5, 1.0), loss_db=4.0))
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert env.wall_crossings(pts)[0, 1] == 10.0
+
+    def test_decay_matrix_combines(self):
+        env = Environment(alpha=2.0)
+        env.add_wall(Wall((1.0, -1.0), (1.0, 1.0), loss_db=10.0))
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        f = env.decay_matrix(pts)
+        # Base 2^2 = 4 times 10 dB = 10x.
+        assert f[0, 1] == pytest.approx(40.0)
+
+    def test_custom_base_law(self):
+        env = Environment(alpha=2.0, base_law=lambda d: d * 7.0)
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert env.decay_matrix(pts)[0, 1] == pytest.approx(14.0)
+
+    def test_no_walls_equals_free_space(self):
+        env = Environment(alpha=3.0)
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert env.decay_matrix(pts)[0, 1] == pytest.approx(8.0)
+
+
+class TestOfficeFloorplan:
+    def test_has_exterior_and_interior(self):
+        env = office_floorplan(2, 2, room_size=4.0, seed=0)
+        # 4 exterior + interior walls (some split in two by doors).
+        assert len(env.walls) >= 4 + 2
+
+    def test_same_room_no_loss_cross_room_loss(self):
+        env = office_floorplan(2, 1, room_size=4.0, door_fraction=0.0, seed=1)
+        pts = np.array([[1.0, 2.0], [3.0, 2.0], [5.0, 2.0]])
+        loss = env.wall_crossings(pts)
+        assert loss[0, 1] == 0.0  # same room
+        assert loss[0, 2] > 0.0  # crosses the x=4 wall
+
+    def test_door_gap_allows_free_path(self):
+        env = office_floorplan(2, 1, room_size=4.0, door_fraction=0.99, seed=2)
+        pts = np.array([[3.9, 2.0], [4.1, 2.0]])
+        # With a nearly full-wall door the straight path is almost surely free.
+        assert env.wall_crossings(pts)[0, 1] == 0.0
+
+    def test_deterministic_by_seed(self):
+        a = office_floorplan(3, 2, seed=5)
+        b = office_floorplan(3, 2, seed=5)
+        assert [(w.p1, w.p2) for w in a.walls] == [(w.p1, w.p2) for w in b.walls]
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            office_floorplan(0, 1)
+        with pytest.raises(GeometryError):
+            office_floorplan(1, 1, door_fraction=1.0)
+
+    def test_decay_in_db_reasonable(self):
+        env = office_floorplan(2, 2, room_size=5.0, seed=3)
+        pts = np.array([[2.5, 2.5], [7.5, 7.5]])
+        f = env.decay_matrix(pts)
+        db = decay_to_db(f[0, 1])
+        # Distance ~7m at alpha=3 is ~25 dB; at least one drywall adds 3+.
+        assert db > 25.0

@@ -1,0 +1,99 @@
+"""Tests for repro.geometry.pathloss."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.pathloss import (
+    db_to_decay,
+    decay_to_db,
+    dual_slope_decay,
+    free_space_decay,
+    log_distance_decay,
+)
+
+
+class TestConversions:
+    def test_known_values(self):
+        assert db_to_decay(10.0) == pytest.approx(10.0)
+        assert db_to_decay(30.0) == pytest.approx(1000.0)
+        assert decay_to_db(100.0) == pytest.approx(20.0)
+
+    def test_roundtrip(self):
+        values = np.array([0.5, 1.0, 7.3, 1e4])
+        assert np.allclose(db_to_decay(decay_to_db(values)), values)
+
+    def test_decay_to_db_rejects_nonpositive(self):
+        with pytest.raises(GeometryError, match="positive"):
+            decay_to_db(0.0)
+
+
+class TestFreeSpace:
+    def test_power_law(self):
+        d = np.array([[0.0, 2.0], [2.0, 0.0]])
+        f = free_space_decay(d, 3.0)
+        assert f[0, 1] == pytest.approx(8.0)
+        assert f[0, 0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(GeometryError, match="alpha"):
+            free_space_decay(np.ones((2, 2)), 0.0)
+        with pytest.raises(GeometryError, match="non-negative"):
+            free_space_decay(np.array([-1.0]), 2.0)
+
+
+class TestLogDistance:
+    def test_reference_loss(self):
+        # At d0 the loss equals loss_at_d0_db.
+        f = log_distance_decay(np.array([1.0]), exponent=3.0, d0=1.0,
+                               loss_at_d0_db=20.0)
+        assert f[0] == pytest.approx(100.0)
+
+    def test_slope(self):
+        # 10x distance adds 10*n dB.
+        f = log_distance_decay(np.array([1.0, 10.0]), exponent=2.5)
+        assert decay_to_db(f[1]) - decay_to_db(f[0]) == pytest.approx(25.0)
+
+    def test_clamps_below_reference(self):
+        f = log_distance_decay(np.array([0.01, 1.0]), exponent=3.0, d0=1.0)
+        assert f[0] == pytest.approx(f[1])
+
+    def test_zero_distance_zero_decay(self):
+        f = log_distance_decay(np.array([0.0]), exponent=3.0)
+        assert f[0] == 0.0
+
+    def test_monotone(self):
+        d = np.linspace(1.0, 50.0, 40)
+        f = log_distance_decay(d, exponent=3.2)
+        assert np.all(np.diff(f) > 0)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError, match="reference"):
+            log_distance_decay(np.ones(1), exponent=2.0, d0=0.0)
+        with pytest.raises(GeometryError, match="exponent"):
+            log_distance_decay(np.ones(1), exponent=-1.0)
+
+
+class TestDualSlope:
+    def test_continuous_at_breakpoint(self):
+        bp = 10.0
+        below = dual_slope_decay(np.array([bp - 1e-9]), 2.0, 4.0, bp)
+        above = dual_slope_decay(np.array([bp + 1e-9]), 2.0, 4.0, bp)
+        assert below[0] == pytest.approx(above[0], rel=1e-6)
+
+    def test_far_slope_steeper(self):
+        d = np.array([20.0, 200.0])
+        f = dual_slope_decay(d, 2.0, 4.0, breakpoint=10.0)
+        gain_db = decay_to_db(f[1]) - decay_to_db(f[0])
+        assert gain_db == pytest.approx(40.0)  # 10 * 4 per decade
+
+    def test_near_slope(self):
+        d = np.array([1.0, 10.0])
+        f = dual_slope_decay(d, 2.0, 4.0, breakpoint=10.0)
+        assert decay_to_db(f[1]) - decay_to_db(f[0]) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError, match="breakpoint"):
+            dual_slope_decay(np.ones(1), 2.0, 4.0, breakpoint=0.5)

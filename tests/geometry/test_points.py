@@ -1,0 +1,115 @@
+"""Tests for repro.geometry.points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.points import (
+    cluster_points,
+    grid_points,
+    line_points,
+    pairwise_distances,
+    rng_from,
+    separated_points,
+    uniform_points,
+)
+
+
+class TestRngFrom:
+    def test_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from(gen) is gen
+
+    def test_seed(self):
+        a = rng_from(7).random()
+        b = rng_from(7).random()
+        assert a == b
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        pts = uniform_points(20, extent=3.0, seed=1)
+        assert pts.shape == (20, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 3.0
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_points(5, seed=3), uniform_points(5, seed=3))
+
+    def test_dim(self):
+        assert uniform_points(4, dim=3, seed=0).shape == (4, 3)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            uniform_points(0)
+        with pytest.raises(GeometryError):
+            uniform_points(5, extent=-1.0)
+
+
+class TestGrid:
+    def test_count_and_spacing(self):
+        pts = grid_points(3, spacing=2.0)
+        assert pts.shape == (9, 2)
+        assert pts.max() == 4.0
+
+    def test_jitter_bounded(self):
+        base = grid_points(3, spacing=2.0)
+        jit = grid_points(3, spacing=2.0, jitter=0.1, seed=1)
+        assert np.all(np.abs(base - jit) <= 0.1 + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            grid_points(0)
+
+
+class TestClusters:
+    def test_count(self):
+        pts = cluster_points(3, 4, seed=2)
+        assert pts.shape == (12, 2)
+
+    def test_clipped_to_extent(self):
+        pts = cluster_points(4, 10, extent=1.0, spread=0.5, seed=3)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            cluster_points(0, 5)
+
+
+class TestSeparated:
+    def test_respects_minimum(self):
+        pts = separated_points(15, extent=10.0, min_separation=1.0, seed=4)
+        d = pairwise_distances(pts)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() >= 1.0
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(GeometryError, match="could not place"):
+            separated_points(100, extent=1.0, min_separation=0.5, seed=1,
+                             max_tries=200)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            separated_points(5, min_separation=0.0)
+
+
+class TestLineAndDistances:
+    def test_line(self):
+        pts = line_points(4, spacing=1.5, x0=1.0)
+        assert np.allclose(pts[:, 0], [1.0, 2.5, 4.0, 5.5])
+        assert np.all(pts[:, 1] == 0.0)
+
+    def test_line_validation(self):
+        with pytest.raises(GeometryError):
+            line_points(0)
+
+    def test_pairwise_distances(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 0] == 0.0
+
+    def test_pairwise_validation(self):
+        with pytest.raises(GeometryError):
+            pairwise_distances(np.array([1.0, 2.0]))

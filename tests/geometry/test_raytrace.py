@@ -1,0 +1,113 @@
+"""Tests for repro.geometry.raytrace (one-bounce reflections)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.environment import Environment, Wall
+from repro.geometry.raytrace import (
+    mirror_point,
+    multipath_decay_matrix,
+    reflection_paths,
+)
+
+
+class TestMirrorPoint:
+    def test_across_x_axis(self):
+        out = mirror_point(np.array([1.0, 2.0]), np.array([0.0, 0.0]),
+                           np.array([5.0, 0.0]))
+        assert np.allclose(out, [1.0, -2.0])
+
+    def test_point_on_line_fixed(self):
+        out = mirror_point(np.array([2.0, 0.0]), np.array([0.0, 0.0]),
+                           np.array([5.0, 0.0]))
+        assert np.allclose(out, [2.0, 0.0])
+
+    def test_batch(self):
+        pts = np.array([[1.0, 1.0], [2.0, -3.0]])
+        out = mirror_point(pts, np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert np.allclose(out, [[1.0, -1.0], [2.0, 3.0]])
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError, match="degenerate"):
+            mirror_point(np.array([1.0, 1.0]), np.zeros(2), np.zeros(2))
+
+
+class TestReflectionPaths:
+    def test_valid_bounce(self):
+        # tx and rx above a floor wall; specular point between them.
+        wall = Wall((-5.0, 0.0), (5.0, 0.0), loss_db=0.0)
+        length = reflection_paths(np.array([-1.0, 1.0]), np.array([1.0, 1.0]), wall)
+        # Image at (-1, -1) to (1, 1): length sqrt(4 + 4).
+        assert length == pytest.approx(np.sqrt(8.0))
+
+    def test_bounce_point_outside_segment(self):
+        wall = Wall((10.0, 0.0), (20.0, 0.0), loss_db=0.0)
+        assert reflection_paths(
+            np.array([-1.0, 1.0]), np.array([1.0, 1.0]), wall
+        ) is None
+
+    def test_same_side_requirement(self):
+        # Receiver below the wall: the "bounce" degenerates to a crossing.
+        wall = Wall((-5.0, 0.0), (5.0, 0.0), loss_db=0.0)
+        length = reflection_paths(np.array([-1.0, 1.0]), np.array([1.0, -1.0]), wall)
+        # Image of tx is (-1,-1); segment to (1,-1) does not cross the wall.
+        assert length is None
+
+
+class TestMultipath:
+    def make_env(self) -> Environment:
+        env = Environment(alpha=2.0)
+        env.add_wall(Wall((-10.0, -1.0), (10.0, -1.0), loss_db=3.0))
+        return env
+
+    def test_zero_coefficient_equals_base(self):
+        env = self.make_env()
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        base = env.decay_matrix(pts)
+        multi = multipath_decay_matrix(pts, env, reflection_coefficient=0.0)
+        assert np.allclose(multi, base)
+
+    def test_reflection_reduces_decay(self):
+        env = self.make_env()
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        base = env.decay_matrix(pts)
+        multi = multipath_decay_matrix(pts, env, reflection_coefficient=0.5)
+        assert multi[0, 1] < base[0, 1]
+        assert multi[1, 0] < base[1, 0]
+
+    def test_diagonal_stays_zero(self):
+        env = self.make_env()
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        multi = multipath_decay_matrix(pts, env, reflection_coefficient=0.5)
+        assert np.all(np.diagonal(multi) == 0.0)
+
+    def test_validation(self):
+        env = self.make_env()
+        pts = np.array([[0.0, 0.0], [4.0, 0.0]])
+        with pytest.raises(GeometryError, match="coefficient"):
+            multipath_decay_matrix(pts, env, reflection_coefficient=1.5)
+
+    def test_can_break_distance_monotonicity(self):
+        """The paper's motivation: with reflections, nearer is not stronger.
+
+        A receiver close to a reflective wall can see a lower decay than a
+        nearer receiver far from the wall.
+        """
+        env = Environment(alpha=2.0)
+        env.add_wall(Wall((-50.0, -0.1), (50.0, -0.1), loss_db=0.0))
+        # tx at origin; rx_near at distance 4 but high above the wall
+        # (weak bounce), rx_far at distance 5 hugging the wall (strong
+        # bounce).
+        pts = np.array([[0.0, 0.0], [0.0, 4.0], [5.0, 0.0]])
+        f = multipath_decay_matrix(pts, env, reflection_coefficient=0.9)
+        d_near = np.linalg.norm(pts[1] - pts[0])
+        d_far = np.linalg.norm(pts[2] - pts[0])
+        assert d_near < d_far
+        # Decay need not follow distance ordering once bounces add up; the
+        # far-but-wall-hugging receiver decays no worse than proportionally.
+        ratio_multipath = f[0, 2] / f[0, 1]
+        ratio_geometric = (d_far / d_near) ** 2
+        assert ratio_multipath < ratio_geometric

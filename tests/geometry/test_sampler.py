@@ -1,0 +1,133 @@
+"""Tests for repro.geometry.sampler (measurements and the build pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.errors import GeometryError
+from repro.geometry.antennas import AntennaArray, cardioid_pattern, omni_pattern
+from repro.geometry.environment import Environment, Wall
+from repro.geometry.pathloss import decay_to_db
+from repro.geometry.points import uniform_points
+from repro.geometry.sampler import (
+    MeasurementModel,
+    build_environment_space,
+    measure_decay_space,
+)
+
+
+class TestMeasurementModel:
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            MeasurementModel(noise_db=-1.0)
+        with pytest.raises(GeometryError):
+            MeasurementModel(floor_db=0.0)
+
+    def test_noiseless_quantization_only(self):
+        space = DecaySpace(np.array([[0.0, 123.0], [123.0, 0.0]]))
+        model = MeasurementModel(noise_db=0.0, quantization_db=1.0)
+        out = measure_decay_space(space, model, seed=1)
+        db = decay_to_db(out.f[0, 1])
+        assert db == pytest.approx(round(10.0 * np.log10(123.0)))
+
+    def test_noise_makes_asymmetric(self):
+        pts = uniform_points(8, extent=10.0, seed=1)
+        space = DecaySpace.from_points(pts, 3.0)
+        out = measure_decay_space(
+            space, MeasurementModel(noise_db=2.0, quantization_db=0.0), seed=2
+        )
+        assert not out.is_symmetric()
+
+    def test_floor_clamps_large_losses(self):
+        space = DecaySpace(np.array([[0.0, 1e15], [1e15, 0.0]]))
+        model = MeasurementModel(noise_db=0.0, quantization_db=0.0, floor_db=100.0)
+        out = measure_decay_space(space, model, seed=1)
+        assert out.f[0, 1] == pytest.approx(1e10)
+
+    def test_valid_decay_space_output(self):
+        pts = uniform_points(10, extent=5.0, seed=3)
+        space = DecaySpace.from_points(pts, 3.0)
+        out = measure_decay_space(space, MeasurementModel(), seed=4)
+        assert out.n == space.n  # construction re-validates axioms
+
+    def test_deterministic(self):
+        pts = uniform_points(6, extent=5.0, seed=3)
+        space = DecaySpace.from_points(pts, 3.0)
+        a = measure_decay_space(space, MeasurementModel(), seed=7)
+        b = measure_decay_space(space, MeasurementModel(), seed=7)
+        assert a == b
+
+
+class TestBuildPipeline:
+    def test_plain_environment_matches_geo(self):
+        pts = uniform_points(8, extent=10.0, seed=5)
+        space = build_environment_space(pts, Environment(alpha=3.0))
+        geo = DecaySpace.from_points(pts, 3.0)
+        assert np.allclose(space.f, geo.f)
+
+    def test_walls_increase_decay(self):
+        env = Environment(alpha=3.0)
+        env.add_wall(Wall((5.0, -100.0), (5.0, 100.0), loss_db=10.0))
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        space = build_environment_space(pts, env)
+        geo = DecaySpace.from_points(pts, 3.0)
+        assert space.f[0, 1] == pytest.approx(10.0 * geo.f[0, 1])
+
+    def test_shadowing_stage(self):
+        pts = uniform_points(8, extent=10.0, seed=6)
+        a = build_environment_space(
+            pts, Environment(alpha=3.0), shadowing_sigma_db=6.0, seed=1
+        )
+        b = build_environment_space(pts, Environment(alpha=3.0))
+        assert not np.allclose(a.f, b.f)
+
+    def test_antenna_stage(self):
+        pts = uniform_points(6, extent=10.0, seed=7)
+        antennas = AntennaArray.random(pts, cardioid_pattern(10.0), seed=2)
+        a = build_environment_space(pts, Environment(alpha=3.0), antennas=antennas)
+        b = build_environment_space(pts, Environment(alpha=3.0))
+        assert not np.allclose(a.f, b.f)
+
+    def test_omni_antennas_neutral(self):
+        pts = uniform_points(6, extent=10.0, seed=7)
+        antennas = AntennaArray.random(pts, omni_pattern(), seed=2)
+        a = build_environment_space(pts, Environment(alpha=3.0), antennas=antennas)
+        b = build_environment_space(pts, Environment(alpha=3.0))
+        assert np.allclose(a.f, b.f)
+
+    def test_measurement_stage(self):
+        pts = uniform_points(6, extent=10.0, seed=8)
+        a = build_environment_space(
+            pts,
+            Environment(alpha=3.0),
+            measurement=MeasurementModel(noise_db=1.0),
+            seed=3,
+        )
+        b = build_environment_space(pts, Environment(alpha=3.0))
+        assert not np.allclose(a.f, b.f)
+
+    def test_full_pipeline_deterministic(self):
+        pts = uniform_points(6, extent=10.0, seed=9)
+        env = Environment(alpha=3.0)
+        kwargs = dict(
+            reflection_coefficient=0.3,
+            shadowing_sigma_db=4.0,
+            shadowing_correlation=3.0,
+            measurement=MeasurementModel(),
+        )
+        a = build_environment_space(pts, env, seed=11, **kwargs)
+        b = build_environment_space(pts, env, seed=11, **kwargs)
+        assert a == b
+
+    def test_realism_raises_metricity(self):
+        """The paper's premise: environments push zeta above alpha."""
+        pts = uniform_points(10, extent=12.0, seed=10)
+        env = Environment(alpha=3.0)
+        env.add_wall(Wall((6.0, -100.0), (6.0, 100.0), loss_db=15.0))
+        geo = DecaySpace.from_points(pts, 3.0)
+        realistic = build_environment_space(
+            pts, env, shadowing_sigma_db=6.0, seed=12
+        )
+        assert realistic.metricity() > geo.metricity() + 0.2

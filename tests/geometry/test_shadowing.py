@@ -1,0 +1,88 @@
+"""Tests for repro.geometry.shadowing (Gudmundson model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.points import uniform_points
+from repro.geometry.shadowing import (
+    apply_shadowing,
+    shadowing_db_matrix,
+    shadowing_field,
+)
+
+
+class TestField:
+    def test_deterministic(self):
+        pts = uniform_points(10, seed=1)
+        a = shadowing_field(pts, 6.0, 2.0, seed=9)
+        b = shadowing_field(pts, 6.0, 2.0, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_zero_sigma_zero_field(self):
+        pts = uniform_points(6, seed=1)
+        field = shadowing_field(pts, 0.0, 2.0, seed=2)
+        assert np.allclose(field, 0.0)
+
+    def test_spatial_correlation(self):
+        """Nearby nodes get similar shadowing; distant ones decorrelate."""
+        # Two tight clusters far apart; average within/between differences.
+        rng = np.random.default_rng(0)
+        within, between = [], []
+        for seed in range(40):
+            pts = np.array([[0.0, 0.0], [0.1, 0.0], [100.0, 0.0], [100.1, 0.0]])
+            field = shadowing_field(pts, 8.0, correlation_distance=5.0, seed=seed)
+            within.append(abs(field[0] - field[1]))
+            within.append(abs(field[2] - field[3]))
+            between.append(abs(field[0] - field[2]))
+        assert np.mean(within) < np.mean(between)
+        _ = rng
+
+    def test_marginal_std(self):
+        pts = uniform_points(40, extent=1000.0, seed=3)
+        field = shadowing_field(pts, 6.0, correlation_distance=1.0, seed=4)
+        # Nearly independent values: sample std near sigma.
+        assert 3.0 < field.std() < 9.0
+
+    def test_validation(self):
+        pts = uniform_points(4, seed=1)
+        with pytest.raises(GeometryError, match="sigma"):
+            shadowing_field(pts, -1.0, 2.0)
+        with pytest.raises(GeometryError, match="correlation"):
+            shadowing_field(pts, 1.0, 0.0)
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_without_asymmetry(self):
+        pts = uniform_points(8, seed=2)
+        m = shadowing_db_matrix(pts, 6.0, 2.0, seed=5)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diagonal(m) == 0.0)
+
+    def test_asymmetry_term(self):
+        pts = uniform_points(8, seed=2)
+        m = shadowing_db_matrix(pts, 6.0, 2.0, asymmetry_db=2.0, seed=5)
+        assert not np.allclose(m, m.T)
+
+    def test_deterministic(self):
+        pts = uniform_points(5, seed=2)
+        a = shadowing_db_matrix(pts, 4.0, 2.0, asymmetry_db=1.0, seed=11)
+        b = shadowing_db_matrix(pts, 4.0, 2.0, asymmetry_db=1.0, seed=11)
+        assert np.array_equal(a, b)
+
+
+class TestApply:
+    def test_multiplies_in_db(self):
+        decay = np.array([[0.0, 100.0], [100.0, 0.0]])
+        shadow = np.array([[0.0, 10.0], [-10.0, 0.0]])
+        out = apply_shadowing(decay, shadow)
+        assert out[0, 1] == pytest.approx(1000.0)
+        assert out[1, 0] == pytest.approx(10.0)
+
+    def test_diagonal_preserved(self):
+        decay = np.array([[0.0, 100.0], [100.0, 0.0]])
+        shadow = np.full((2, 2), 3.0)
+        out = apply_shadowing(decay, shadow)
+        assert np.all(np.diagonal(out) == 0.0)

@@ -1,0 +1,117 @@
+"""Tests for the Theorem-3 equi-decay construction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.metricity import metricity
+from repro.core.power import uniform_power
+from repro.core.feasibility import is_feasible
+from repro.errors import ReproError
+from repro.hardness.equidecay import equidecay_instance
+from repro.hardness.reductions import (
+    capacity_equals_mis,
+    edge_pairs_power_infeasible,
+    verify_feasible_iff_independent,
+)
+
+
+class TestConstruction:
+    def test_shape(self):
+        inst = equidecay_instance(nx.path_graph(5))
+        assert inst.space.n == 10
+        assert inst.links.m == 5
+        assert inst.sender(2) == 2 and inst.receiver(2) == 7
+
+    def test_unit_signal_decay(self):
+        inst = equidecay_instance(nx.path_graph(5))
+        assert np.allclose(inst.links.lengths, 1.0)
+
+    def test_cross_decays(self):
+        g = nx.Graph([(0, 1)])
+        g.add_node(2)
+        inst = equidecay_instance(g, edge_decay=0.5)
+        cross = inst.links.cross_decay
+        assert cross[0, 1] == 0.5  # edge
+        assert cross[0, 2] == 3.0  # non-edge: decay n = 3
+        assert cross[1, 0] == 0.5
+
+    def test_symmetric_cross_decay(self):
+        inst = equidecay_instance(nx.cycle_graph(5))
+        assert inst.space.is_symmetric()
+
+    def test_relabels_nodes(self):
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        inst = equidecay_instance(g)
+        assert inst.n == 3
+        assert set(inst.graph.nodes) == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="two vertices"):
+            equidecay_instance(nx.Graph())
+        with pytest.raises(ReproError, match="edge decay"):
+            equidecay_instance(nx.path_graph(3), edge_decay=1.5)
+        with pytest.raises(ReproError, match="filler"):
+            equidecay_instance(nx.path_graph(3), filler_decay=0.0)
+
+
+class TestCorrespondence:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            nx.cycle_graph(6),
+            nx.path_graph(6),
+            nx.complete_graph(5),
+            nx.star_graph(5),
+            nx.gnp_random_graph(8, 0.4, seed=1),
+        ],
+        ids=["cycle", "path", "complete", "star", "gnp"],
+    )
+    def test_feasible_iff_independent(self, graph):
+        inst = equidecay_instance(graph)
+        assert verify_feasible_iff_independent(inst.links, inst.graph)
+
+    def test_capacity_equals_mis(self):
+        for seed in range(3):
+            g = nx.gnp_random_graph(9, 0.5, seed=seed)
+            inst = equidecay_instance(g)
+            cap, mis = capacity_equals_mis(inst.links, inst.graph)
+            assert cap == mis
+
+    def test_edges_blocked_under_power_control(self):
+        inst = equidecay_instance(nx.gnp_random_graph(8, 0.5, seed=3))
+        assert edge_pairs_power_infeasible(inst.links, inst.graph)
+
+    def test_independent_set_feasible_under_uniform(self):
+        g = nx.cycle_graph(8)
+        inst = equidecay_instance(g)
+        independent = [0, 2, 4, 6]
+        assert is_feasible(
+            inst.links, independent, uniform_power(inst.links)
+        )
+
+    def test_edge_pair_infeasible(self):
+        g = nx.cycle_graph(8)
+        inst = equidecay_instance(g)
+        assert not is_feasible(inst.links, [0, 1], uniform_power(inst.links))
+
+
+class TestMetricity:
+    @pytest.mark.parametrize("n", [6, 10, 14])
+    def test_zeta_theta_log_n(self, n):
+        """Thm. 3: zeta <= lg 2n, and >= lg n when the binding triple exists."""
+        g = nx.gnp_random_graph(n, 0.5, seed=n)
+        inst = equidecay_instance(g)
+        z = metricity(inst.space)
+        assert z <= np.log2(2 * n) + 0.01
+        # The lower bound needs a non-edge (i, j) plus k adjacent to j but
+        # not i (or the symmetric pattern); G(n, 1/2) has one w.h.p.
+        comp = nx.complement(g)
+        has_pattern = any(
+            any(g.has_edge(k, j) and not g.has_edge(k, i) for k in g.nodes)
+            for i, j in comp.edges
+        )
+        if has_pattern:
+            assert z >= np.log2(n) - 0.01

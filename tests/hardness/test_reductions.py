@@ -1,0 +1,56 @@
+"""Tests for the MIS <-> CAPACITY verification harness itself."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ExactComputationError
+from repro.hardness.equidecay import equidecay_instance
+from repro.hardness.reductions import (
+    independence_number,
+    maximum_independent_set,
+    verify_feasible_iff_independent,
+)
+
+
+class TestMIS:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (nx.cycle_graph(6), 3),
+            (nx.cycle_graph(7), 3),
+            (nx.complete_graph(5), 1),
+            (nx.star_graph(6), 6),
+            (nx.path_graph(7), 4),
+            (nx.petersen_graph(), 4),
+        ],
+        ids=["C6", "C7", "K5", "S6", "P7", "petersen"],
+    )
+    def test_known_independence_numbers(self, graph, expected):
+        assert independence_number(graph) == expected
+
+    def test_returned_set_is_independent(self):
+        g = nx.gnp_random_graph(12, 0.4, seed=2)
+        mis = maximum_independent_set(g)
+        for u in mis:
+            for v in mis:
+                if u != v:
+                    assert not g.has_edge(u, v)
+
+
+class TestVerifier:
+    def test_detects_broken_correspondence(self):
+        """A deliberately mis-built instance must be caught."""
+        g = nx.cycle_graph(5)
+        inst = equidecay_instance(g)
+        # Verify against the *complement* graph: must fail.
+        assert not verify_feasible_iff_independent(
+            inst.links, nx.complement(g)
+        )
+
+    def test_size_limit(self):
+        g = nx.path_graph(20)
+        inst = equidecay_instance(g)
+        with pytest.raises(ExactComputationError, match="exhaustive"):
+            verify_feasible_iff_independent(inst.links, inst.graph)

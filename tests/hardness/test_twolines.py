@@ -1,0 +1,103 @@
+"""Tests for the Theorem-6 two-line construction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.feasibility import is_feasible
+from repro.core.metricity import varphi
+from repro.core.power import uniform_power
+from repro.errors import ReproError
+from repro.hardness.reductions import (
+    capacity_equals_mis,
+    edge_pairs_power_infeasible,
+    verify_feasible_iff_independent,
+)
+from repro.hardness.twolines import twoline_instance
+from repro.spaces.independence import independence_dimension
+
+
+class TestConstruction:
+    def test_shape_and_positions(self):
+        inst = twoline_instance(nx.path_graph(5), alpha=2.0)
+        assert inst.space.n == 10
+        assert inst.links.m == 5
+        assert np.allclose(inst.positions[:5, 0], 0.0)
+        assert np.allclose(inst.positions[5:, 0], 5.0)
+
+    def test_decay_values(self):
+        g = nx.Graph([(0, 1)])
+        g.add_node(2)
+        inst = twoline_instance(g, alpha=2.0, delta=0.25)
+        n = 3
+        cross = inst.links.cross_decay
+        assert cross[0, 0] == pytest.approx(n)  # signal n^(alpha-1) = 3
+        assert cross[0, 1] == pytest.approx(n - 0.25)  # edge
+        assert cross[0, 2] == pytest.approx(n**2)  # non-edge
+        # Within-line decays: |i - j|^(alpha - 1).
+        assert inst.space.decay(0, 1) == pytest.approx(1.0)
+        assert inst.space.decay(0, 2) == pytest.approx(2.0)
+
+    def test_alpha_one_unit_within_line(self):
+        inst = twoline_instance(nx.path_graph(4), alpha=1.0)
+        assert inst.space.decay(0, 3) == pytest.approx(1.0)
+        assert inst.alpha_prime == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="two vertices"):
+            twoline_instance(nx.Graph())
+        with pytest.raises(ReproError, match="alpha"):
+            twoline_instance(nx.path_graph(3), alpha=0.5)
+        with pytest.raises(ReproError, match="delta"):
+            twoline_instance(nx.path_graph(3), delta=0.7)
+
+
+class TestCorrespondence:
+    @pytest.mark.parametrize("alpha", [1.0, 2.0, 3.0])
+    def test_feasible_iff_independent(self, alpha):
+        g = nx.gnp_random_graph(7, 0.4, seed=5)
+        inst = twoline_instance(g, alpha=alpha)
+        assert verify_feasible_iff_independent(inst.links, inst.graph)
+
+    def test_capacity_equals_mis(self):
+        g = nx.petersen_graph()
+        inst = twoline_instance(g, alpha=2.0)
+        cap, mis = capacity_equals_mis(inst.links, inst.graph)
+        assert cap == mis == 4
+
+    def test_edges_blocked_under_power_control(self):
+        inst = twoline_instance(nx.gnp_random_graph(8, 0.5, seed=7))
+        assert edge_pairs_power_infeasible(inst.links, inst.graph)
+
+    def test_nonedge_affectance_one_over_n(self):
+        g = nx.empty_graph(6)
+        inst = twoline_instance(g, alpha=2.0)
+        # All links independent: whole set feasible with margin (n-1)/n.
+        assert is_feasible(
+            inst.links, list(range(6)), uniform_power(inst.links)
+        )
+
+
+class TestGrowthProperties:
+    def test_varphi_linear_in_n(self):
+        """Thm. 6: varphi = O(n)."""
+        values = {}
+        for n in (6, 10, 14):
+            g = nx.gnp_random_graph(n, 0.5, seed=n)
+            inst = twoline_instance(g, alpha=2.0)
+            values[n] = varphi(inst.space)
+            assert values[n] <= 2.0 * n
+        assert values[14] > values[6]
+
+    def test_independence_dimension_small(self):
+        """Thm. 6 appendix: independence dimension 3 (2 on a line + 1 across)."""
+        for seed in (1, 2):
+            g = nx.gnp_random_graph(7, 0.5, seed=seed)
+            inst = twoline_instance(g, alpha=2.0)
+            assert independence_dimension(inst.space) <= 3
+
+    def test_positions_embed_in_plane(self):
+        inst = twoline_instance(nx.cycle_graph(6), alpha=2.0)
+        assert inst.positions.shape == (12, 2)

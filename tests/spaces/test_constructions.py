@@ -1,0 +1,114 @@
+"""Tests for repro.spaces.constructions (the paper's named examples)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metricity import metricity, varphi
+from repro.spaces.constructions import (
+    line_space,
+    star_space,
+    three_point_space,
+    uniform_space,
+    welzl_space,
+)
+from repro.spaces.independence import independence_dimension, is_independent_wrt
+from repro.spaces.quasimetric import is_triangle_satisfied
+
+
+class TestStarSpace:
+    def test_shape_and_distances(self):
+        space = star_space(k=4, r=0.5)
+        assert space.n == 6
+        assert space.decay(0, 1) == 16.0  # center to far leaf: k^2
+        assert space.decay(0, 5) == 0.5  # center to near leaf: r
+        assert space.decay(1, 2) == 32.0  # leaf to leaf through center
+        assert space.decay(1, 5) == 16.5
+
+    def test_is_metric(self):
+        space = star_space(k=5, r=1.0)
+        assert space.is_symmetric()
+        assert is_triangle_satisfied(space.f)
+        assert metricity(space) <= 1.0 + 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="leaf"):
+            star_space(0, 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            star_space(3, 0.0)
+
+    def test_labels(self):
+        space = star_space(k=2, r=1.0)
+        assert space.labels == ("x0", "x1", "x2", "x-1")
+
+
+class TestWelzlSpace:
+    def test_is_metric(self):
+        space = welzl_space(5)
+        assert space.is_symmetric()
+        assert is_triangle_satisfied(space.f)
+
+    def test_distances(self):
+        space = welzl_space(4, eps=0.25)
+        # d(v_-1, v_i) = 2^i - eps; d(v_j, v_i) = 2^max(i,j).
+        assert space.decay(0, 1) == pytest.approx(2.0**0 - 0.25)
+        assert space.decay(0, 5) == pytest.approx(2.0**4 - 0.25)
+        assert space.decay(2, 4) == pytest.approx(2.0**3)
+
+    def test_unbounded_independence(self):
+        # V \ {v_-1} is independent w.r.t. v_-1 (Sec. 4.1).
+        for n in (2, 4, 6):
+            space = welzl_space(n)
+            assert is_independent_wrt(space, list(range(1, n + 2)), 0)
+            assert independence_dimension(space) == n + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            welzl_space(0)
+        with pytest.raises(ValueError, match="eps"):
+            welzl_space(3, eps=0.5)
+
+
+class TestThreePointSpace:
+    def test_values(self):
+        space = three_point_space(10.0)
+        assert space.decay(0, 1) == 1.0
+        assert space.decay(1, 2) == 10.0
+        assert space.decay(0, 2) == 20.0
+
+    def test_varphi_bounded_zeta_unbounded(self):
+        v_values, z_values = [], []
+        for q in (1e2, 1e6):
+            space = three_point_space(q)
+            v_values.append(varphi(space))
+            z_values.append(metricity(space))
+        assert all(v < 2.0 for v in v_values)
+        assert z_values[1] > z_values[0] > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="q > 1"):
+            three_point_space(1.0)
+
+
+class TestUniformAndLine:
+    def test_uniform_space(self):
+        space = uniform_space(5, c=2.0)
+        off = space.off_diagonal()
+        assert np.all(off == 2.0)
+        assert independence_dimension(space) == 1
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            uniform_space(0)
+        with pytest.raises(ValueError, match="positive"):
+            uniform_space(3, c=-1.0)
+
+    def test_line_space(self):
+        space = line_space(4, spacing=2.0, alpha=2.0)
+        assert space.decay(0, 3) == pytest.approx(36.0)
+        assert metricity(space) == pytest.approx(2.0, abs=1e-3)
+
+    def test_line_validation(self):
+        with pytest.raises(ValueError, match="n >= 1"):
+            line_space(0)

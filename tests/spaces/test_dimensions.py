@@ -1,0 +1,133 @@
+"""Tests for repro.spaces.dimensions (packings, Assouad, doubling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.spaces.constructions import line_space, uniform_space, welzl_space
+from repro.spaces.dimensions import (
+    assouad_dimension,
+    densest_packing,
+    doubling_constant,
+    doubling_dimension,
+    fit_assouad,
+    is_fading_space,
+    is_packing,
+    packing_number,
+)
+
+
+class TestPackings:
+    def test_is_packing_definition(self):
+        space = line_space(6, spacing=1.0, alpha=1.0)
+        # t-packing requires pairwise decay > 2t.
+        assert is_packing(space, [0, 3], t=1.4)  # decay 3 > 2.8
+        assert not is_packing(space, [0, 3], t=1.5)  # 3 > 3 fails
+        assert is_packing(space, [2], t=100.0)
+
+    def test_packing_number_line(self):
+        space = line_space(9, spacing=1.0, alpha=1.0)
+        body = list(range(9))
+        # decay > 2 means gap >= 3: points {0,3,6} -> 3.
+        assert packing_number(space, body, t=1.0) == 3
+        # decay > 4 means gap >= 5: points {0,5} -> 2... and 8? gap 0-5-8 is 3.
+        assert packing_number(space, body, t=2.0) == 2
+
+    def test_packing_number_greedy_lower_bound(self):
+        space = line_space(12, spacing=1.0, alpha=1.0)
+        body = list(range(12))
+        exact = packing_number(space, body, t=1.0, exact=True)
+        greedy = packing_number(space, body, t=1.0, exact=False)
+        assert greedy <= exact
+
+    def test_empty_body(self):
+        space = line_space(4)
+        assert packing_number(space, [], t=1.0) == 0
+
+    def test_asymmetric_uses_min_direction(self):
+        f = np.array(
+            [
+                [0.0, 10.0, 10.0],
+                [1.0, 0.0, 10.0],
+                [10.0, 10.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        # Pair (0, 1): min(f(0,1), f(1,0)) = 1 <= 2t for t=1.
+        assert not is_packing(space, [0, 1], t=1.0)
+        assert is_packing(space, [0, 2], t=1.0)
+
+
+class TestDensestPacking:
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            densest_packing(line_space(5), q=1.0)
+
+    def test_line_grows_with_q(self):
+        space = line_space(16, spacing=1.0, alpha=1.0)
+        g2 = densest_packing(space, 2.0)
+        g8 = densest_packing(space, 8.0)
+        assert g2 <= g8
+
+    def test_uniform_space_is_degenerate(self):
+        # All decays equal: any ball either is a single point or everything;
+        # packings at scale r/q have decay 1 > 2/q only for q > 2.
+        space = uniform_space(6)
+        assert densest_packing(space, 4.0) == 6
+
+
+class TestAssouad:
+    def test_line_alpha2_is_fading(self):
+        # Decay |i-j|^2: packings in decay balls grow like sqrt(q).
+        space = line_space(14, spacing=1.0, alpha=2.0)
+        a, c = fit_assouad(space)
+        assert a < 1.0
+        assert c >= 1.0
+        assert is_fading_space(space, constant=c, qs=[4.0, 16.0])
+
+    def test_line_alpha1_not_fading(self):
+        # Decay = distance: packings grow linearly with q -> A ~ 1.
+        space = line_space(14, spacing=1.0, alpha=1.0)
+        a, _ = fit_assouad(space)
+        assert a > 0.6
+
+    def test_fit_bound_holds_on_samples(self):
+        space = line_space(12, spacing=1.0, alpha=2.0)
+        a, c = fit_assouad(space, qs=[2.0, 4.0, 8.0])
+        for q in (2.0, 4.0, 8.0):
+            assert densest_packing(space, q) <= c * q**a + 1e-9
+
+    def test_assouad_dimension_monotone_in_constant(self):
+        space = line_space(10, spacing=1.0, alpha=2.0)
+        a1 = assouad_dimension(space, constant=1.0)
+        a2 = assouad_dimension(space, constant=2.0)
+        assert a2 <= a1
+
+    def test_rejects_bad_constant(self):
+        with pytest.raises(ValueError, match="positive"):
+            assouad_dimension(line_space(5), constant=0.0)
+
+
+class TestDoubling:
+    def test_line_metric_doubles_with_two_balls(self):
+        space = line_space(16, spacing=1.0, alpha=1.0)
+        const = doubling_constant(space.f)
+        # An interval of radius 2r is covered by ~2-3 balls of radius r
+        # (greedy covering may use one extra).
+        assert const <= 4
+        assert doubling_dimension(space.f) <= 2.0
+
+    def test_uniform_space_trivially_doubling(self):
+        # Every ball is a point or everything; one ball suffices... but at
+        # radius just above c/2 the 2r-ball is everything while r-balls are
+        # singletons -> constant n.
+        space = uniform_space(6)
+        assert doubling_constant(space.f) == 6
+
+    def test_welzl_space_doubling_small(self):
+        space = welzl_space(6)
+        # Welzl's construction: doubling dimension ~1 (constant <= ~4 with
+        # greedy covering slack).
+        assert doubling_constant(space.f) <= 4

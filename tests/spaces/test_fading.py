@@ -1,0 +1,124 @@
+"""Tests for repro.spaces.fading (Def. 3.1 and Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.spaces.constructions import line_space, star_space
+from repro.spaces.dimensions import fit_assouad
+from repro.spaces.fading import (
+    fading_parameter,
+    fading_value,
+    is_r_separated,
+    max_interference_set,
+    theorem2_bound,
+)
+
+
+class TestSeparation:
+    def test_r_separated_definition(self):
+        space = line_space(6, spacing=1.0, alpha=1.0)
+        assert is_r_separated(space, [0, 3], r=3.0)
+        assert not is_r_separated(space, [0, 2], r=3.0)
+        assert is_r_separated(space, [4], r=100.0)
+
+    def test_asymmetric_min_direction(self):
+        f = np.array(
+            [
+                [0.0, 5.0, 5.0],
+                [1.0, 0.0, 5.0],
+                [5.0, 5.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        assert not is_r_separated(space, [0, 1], r=2.0)
+
+
+class TestFadingValue:
+    def test_hand_computed_on_line(self):
+        # Points 0..5 at unit spacing, decay = distance (alpha = 1).
+        space = line_space(6, spacing=1.0, alpha=1.0)
+        # r = 2: senders pairwise decay >= 2 and decay >= 2 from listener 0.
+        # Best set: {2, 4} (and not 3 or 5 simultaneously closer);
+        # candidates x with f(x,0) >= 2: {2,3,4,5}; pairwise >= 2 means gap 2.
+        # Max weight: {2, 4} -> 1/2 + 1/4 = 0.75 vs {2, 5} -> 0.7, {3, 5} .53.
+        senders, total = max_interference_set(space, 0, r=2.0)
+        assert senders == [2, 4]
+        assert total == pytest.approx(0.75)
+        assert fading_value(space, 0, r=2.0) == pytest.approx(1.5)
+
+    def test_listener_separation_enforced(self):
+        # Without excluding near-listener interferers the value explodes;
+        # Theorem 2's usage requires f(x, z) >= r.
+        space = line_space(6, spacing=1.0, alpha=1.0)
+        senders, _ = max_interference_set(space, 0, r=2.0)
+        assert all(space.f[x, 0] >= 2.0 for x in senders)
+
+    def test_fading_parameter_is_max(self):
+        space = line_space(6, spacing=1.0, alpha=1.0)
+        gamma = fading_parameter(space, r=2.0)
+        assert gamma == pytest.approx(
+            max(fading_value(space, z, 2.0) for z in range(6))
+        )
+
+    def test_greedy_lower_bound(self):
+        space = line_space(10, spacing=1.0, alpha=2.0)
+        exact = fading_value(space, 0, r=4.0, exact=True)
+        greedy = fading_value(space, 0, r=4.0, exact=False)
+        assert greedy <= exact + 1e-12
+
+    def test_rejects_bad_r(self):
+        space = line_space(4)
+        with pytest.raises(ValueError, match="positive"):
+            fading_value(space, 0, r=0.0)
+
+    def test_singleton_space(self):
+        space = DecaySpace(np.zeros((1, 1)))
+        assert fading_value(space, 0, r=1.0) == 0.0
+
+
+class TestTheorem2:
+    def test_bound_formula(self):
+        # A = 0: C * 2 * (zetahat(2) - 1) = 2 (pi^2/6 - 1).
+        expected = 2.0 * (np.pi**2 / 6.0 - 1.0)
+        assert theorem2_bound(0.0, 1.0) == pytest.approx(expected)
+
+    def test_bound_scales_with_constant(self):
+        assert theorem2_bound(0.5, 3.0) == pytest.approx(
+            3.0 * theorem2_bound(0.5, 1.0)
+        )
+
+    def test_rejects_non_fading(self):
+        with pytest.raises(ValueError, match="dimension"):
+            theorem2_bound(1.0)
+
+    def test_rejects_bad_constant(self):
+        with pytest.raises(ValueError, match="positive"):
+            theorem2_bound(0.5, 0.0)
+
+    @pytest.mark.parametrize(
+        "space,r",
+        [
+            (line_space(12, spacing=1.0, alpha=2.0), 4.0),
+            (line_space(12, spacing=1.0, alpha=3.0), 8.0),
+        ],
+    )
+    def test_gamma_within_bound_on_fading_spaces(self, space, r):
+        """Theorem 2 end to end: measured gamma below the fitted bound."""
+        a, c = fit_assouad(space)
+        assert a < 1.0
+        gamma = fading_parameter(space, r)
+        assert gamma <= theorem2_bound(a, c) + 1e-9
+
+    def test_star_space_interference_shrinks(self):
+        # Sec. 3.4: interference at x_{-1} from k far leaves ~ 1/k.
+        values = []
+        for k in (4, 16):
+            space = star_space(k, r=1.0)
+            leaves = np.arange(1, k + 1)
+            near = k + 1
+            values.append(float((1.0 / space.f[leaves, near]).sum()))
+        assert values[1] < values[0]
+        assert values[1] == pytest.approx(1.0 / 16.0, rel=0.1)

@@ -1,0 +1,136 @@
+"""Tests for repro.spaces.independence (Def. 4.1, guards, Welzl)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.geometry.points import uniform_points
+from repro.spaces.constructions import uniform_space, welzl_space
+from repro.spaces.independence import (
+    greedy_guards,
+    independence_dimension,
+    is_guard_set,
+    is_independent_wrt,
+    max_independent_wrt,
+    minimum_guards,
+    planar_sector_guards,
+)
+
+
+class TestIndependentSets:
+    def test_definition_hand_case(self):
+        # Two points both closer to x (node 0) than to each other.
+        f = np.array(
+            [
+                [0.0, 1.0, 1.0],
+                [1.0, 0.0, 5.0],
+                [1.0, 5.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        assert is_independent_wrt(space, [1, 2], 0)
+
+    def test_definition_violated(self):
+        # Node 1 closer to node 2 than to the center.
+        f = np.array(
+            [
+                [0.0, 3.0, 3.0],
+                [3.0, 0.0, 1.0],
+                [3.0, 1.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        assert not is_independent_wrt(space, [1, 2], 0)
+
+    def test_center_cannot_be_member(self):
+        space = uniform_space(4)
+        assert not is_independent_wrt(space, [0, 1], 0)
+
+    def test_singletons_independent(self):
+        space = uniform_space(4)
+        assert is_independent_wrt(space, [1], 0)
+
+    def test_strictness(self):
+        # Equal decays: NOT independent (strict inequality required).
+        space = uniform_space(3)
+        assert not is_independent_wrt(space, [1, 2], 0)
+
+
+class TestIndependenceDimension:
+    def test_uniform_space_dimension_one(self):
+        assert independence_dimension(uniform_space(6)) == 1
+
+    def test_welzl_space_unbounded(self):
+        # All of V \ {v_-1} is independent w.r.t. v_-1: dimension n + 1.
+        for n in (3, 5):
+            space = welzl_space(n)
+            assert independence_dimension(space) >= n + 1
+            members = list(range(1, n + 2))
+            assert is_independent_wrt(space, members, 0)
+
+    def test_plane_at_most_five(self):
+        # Euclidean plane: pairwise angles > 60 deg, at most 5 points.
+        for seed in (0, 1, 2):
+            pts = uniform_points(12, extent=10.0, seed=seed)
+            space = DecaySpace.from_points(pts, 2.0)
+            assert independence_dimension(space) <= 5
+
+    def test_max_independent_is_valid(self, planar_space):
+        best = max_independent_wrt(planar_space, 0)
+        assert is_independent_wrt(planar_space, best, 0)
+
+    def test_greedy_at_most_exact(self, planar_space):
+        for x in range(4):
+            exact = max_independent_wrt(planar_space, x, exact=True)
+            greedy = max_independent_wrt(planar_space, x, exact=False)
+            assert len(greedy) <= len(exact)
+            assert is_independent_wrt(planar_space, greedy, x)
+
+
+class TestGuards:
+    def test_guard_verification_hand_case(self):
+        # Node 1 guards node 0 from everything: f(z, 1) <= f(z, 0) for all z.
+        f = np.array(
+            [
+                [0.0, 1.0, 4.0],
+                [1.0, 0.0, 2.0],
+                [4.0, 2.0, 0.0],
+            ]
+        )
+        space = DecaySpace(f)
+        assert is_guard_set(space, 0, [1])
+        # [2] fails to guard 0: f(1, 2) = 2 > f(1, 0) = 1.
+        assert not is_guard_set(space, 0, [2])
+
+    def test_every_point_guardable(self, planar_space):
+        for x in range(planar_space.n):
+            guards = greedy_guards(planar_space, x)
+            assert is_guard_set(planar_space, x, guards)
+
+    def test_minimum_guards_not_larger_than_greedy(self, planar_space):
+        x = 0
+        mini = minimum_guards(planar_space, x, max_size=4)
+        greedy = greedy_guards(planar_space, x)
+        assert is_guard_set(planar_space, x, mini)
+        assert len(mini) <= max(len(greedy), 4)
+
+    def test_plane_guard_count_small(self):
+        # Welzl: the plane needs few guards (independence dim <= 5).
+        pts = uniform_points(10, extent=10.0, seed=5)
+        space = DecaySpace.from_points(pts, 3.0)
+        for x in range(space.n):
+            assert len(greedy_guards(space, x)) <= 6
+
+    def test_sector_guards_guard_in_euclidean(self):
+        pts = uniform_points(12, extent=10.0, seed=9)
+        space = DecaySpace.from_points(pts, 2.0)
+        for x in range(4):
+            guards = planar_sector_guards(pts, x)
+            assert len(guards) <= 6
+            assert is_guard_set(space, x, guards)
+
+    def test_sector_guards_validation(self):
+        with pytest.raises(ValueError, match="coordinates"):
+            planar_sector_guards(np.zeros((4, 3)), 0)

@@ -1,0 +1,83 @@
+"""Tests for inductive independence."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.conflict_graph import affectance_conflict_graph
+from repro.spaces.inductive import (
+    inductive_color_bound,
+    inductive_independence,
+    is_inductive_independent,
+)
+from tests.conftest import make_planar_links
+
+
+class TestInductiveIndependence:
+    def test_empty_graph_zero(self):
+        g = nx.empty_graph(5)
+        assert inductive_independence(g, order=list(range(5))) == 0
+
+    def test_clique_is_one_inductive(self):
+        # Every later neighborhood of a clique is itself a clique.
+        g = nx.complete_graph(6)
+        assert inductive_independence(g, order=list(range(6))) == 1
+
+    def test_star_depends_on_order(self):
+        g = nx.star_graph(5)  # center 0, leaves 1..5
+        # Center first: its later neighborhood is all 5 leaves (independent).
+        assert inductive_independence(g, order=[0, 1, 2, 3, 4, 5]) == 5
+        # Center last: every leaf's later neighborhood is just the center.
+        assert inductive_independence(g, order=[1, 2, 3, 4, 5, 0]) == 1
+
+    def test_predicate(self):
+        g = nx.cycle_graph(6)
+        order = list(range(6))
+        rho = inductive_independence(g, order=order)
+        assert is_inductive_independent(g, rho, order=order)
+        assert not is_inductive_independent(g, rho - 1, order=order)
+
+    def test_greedy_lower_bound(self):
+        g = nx.erdos_renyi_graph(14, 0.4, seed=3)
+        order = list(range(14))
+        exact = inductive_independence(g, order=order, exact=True)
+        greedy = inductive_independence(g, order=order, exact=False)
+        assert greedy <= exact
+
+    def test_requires_order_or_links(self):
+        g = nx.path_graph(4)
+        with pytest.raises(ValueError, match="order"):
+            inductive_independence(g)
+
+    def test_order_must_cover_nodes(self):
+        g = nx.path_graph(4)
+        with pytest.raises(ValueError, match="enumerate"):
+            inductive_independence(g, order=[0, 1])
+
+    def test_length_order_on_affectance_graph(self):
+        """The paper's setting: small rho for planar link conflict graphs."""
+        links = make_planar_links(12, alpha=3.0, seed=4)
+        g = affectance_conflict_graph(links, threshold=0.5)
+        rho = inductive_independence(g, links=links)
+        assert 0 <= rho <= 12
+        assert is_inductive_independent(g, rho, links=links)
+
+
+class TestColorBound:
+    def test_coloring_is_proper(self):
+        links = make_planar_links(12, alpha=3.0, seed=5)
+        g = affectance_conflict_graph(links, threshold=0.5)
+        count = inductive_color_bound(g, links=links)
+        assert count >= 1
+        # A proper colouring uses at least clique-number colours.
+        clique, _ = nx.max_weight_clique(g, weight=None)
+        assert count >= len(clique)
+
+    def test_edgeless_one_color(self):
+        g = nx.empty_graph(5)
+        assert inductive_color_bound(g, order=list(range(5))) == 1
+
+    def test_complete_needs_n(self):
+        g = nx.complete_graph(5)
+        assert inductive_color_bound(g, order=list(range(5))) == 5

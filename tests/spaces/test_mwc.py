@@ -1,0 +1,119 @@
+"""Tests for the exact max-weight clique engine."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExactComputationError
+from repro.spaces._mwc import greedy_weight_clique, max_weight_clique
+
+
+def brute_force(adj: np.ndarray, weights: np.ndarray) -> float:
+    n = adj.shape[0]
+    best = 0.0
+    for k in range(1, n + 1):
+        for combo in itertools.combinations(range(n), k):
+            if all(adj[u, v] for u, v in itertools.combinations(combo, 2)):
+                best = max(best, float(weights[list(combo)].sum()))
+    return best
+
+
+def random_graph(n: int, p: float, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n)) < p
+    adj = np.triu(adj, 1)
+    adj = adj | adj.T
+    weights = rng.uniform(0.1, 3.0, size=n)
+    return adj, weights
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        adj, weights = random_graph(8, 0.5, seed)
+        _, value = max_weight_clique(adj, weights)
+        assert value == pytest.approx(brute_force(adj, weights))
+
+    def test_returned_set_is_clique(self):
+        adj, weights = random_graph(10, 0.4, 3)
+        nodes, value = max_weight_clique(adj, weights)
+        for u, v in itertools.combinations(nodes, 2):
+            assert adj[u, v]
+        assert value == pytest.approx(float(weights[nodes].sum()))
+
+    def test_empty_graph(self):
+        nodes, value = max_weight_clique(np.zeros((0, 0), dtype=bool), np.zeros(0))
+        assert nodes == [] and value == 0.0
+
+    def test_edgeless_graph_takes_heaviest(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        w = np.array([1.0, 5.0, 2.0, 3.0])
+        nodes, value = max_weight_clique(adj, w)
+        assert nodes == [1] and value == 5.0
+
+    def test_complete_graph_takes_all(self):
+        adj = ~np.eye(5, dtype=bool)
+        nodes, value = max_weight_clique(adj, np.ones(5))
+        assert nodes == [0, 1, 2, 3, 4] and value == 5.0
+
+    def test_unit_weights_default(self):
+        adj = ~np.eye(3, dtype=bool)
+        nodes, value = max_weight_clique(adj)
+        assert value == 3.0
+
+
+class TestValidationAndLimits:
+    def test_limit(self):
+        adj = np.zeros((5, 5), dtype=bool)
+        with pytest.raises(ExactComputationError, match="limited"):
+            max_weight_clique(adj, np.ones(5), limit=4)
+
+    def test_rejects_asymmetric(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True
+        with pytest.raises(ValueError, match="symmetric"):
+            max_weight_clique(adj, np.ones(3))
+
+    def test_rejects_self_loops(self):
+        adj = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError, match="diagonal"):
+            max_weight_clique(adj, np.ones(3))
+
+    def test_rejects_negative_weights(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        with pytest.raises(ValueError, match="non-negative"):
+            max_weight_clique(adj, np.array([1.0, -1.0, 1.0]))
+
+    def test_rejects_misaligned_weights(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        with pytest.raises(ValueError, match="align"):
+            max_weight_clique(adj, np.ones(4))
+
+
+class TestGreedy:
+    def test_greedy_is_clique_and_lower_bound(self):
+        for seed in range(6):
+            adj, weights = random_graph(12, 0.5, seed)
+            nodes, value = greedy_weight_clique(adj, weights)
+            for u, v in itertools.combinations(nodes, 2):
+                assert adj[u, v]
+            _, opt = max_weight_clique(adj, weights)
+            assert value <= opt + 1e-12
+
+    def test_greedy_empty(self):
+        nodes, value = greedy_weight_clique(
+            np.zeros((0, 0), dtype=bool), np.zeros(0)
+        )
+        assert nodes == [] and value == 0.0
+
+
+@given(st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=50))
+def test_property_exact_vs_brute(n, seed):
+    adj, weights = random_graph(n, 0.45, seed)
+    _, value = max_weight_clique(adj, weights)
+    assert value == pytest.approx(brute_force(adj, weights))

@@ -1,0 +1,119 @@
+"""Tests for repro.spaces.quasimetric (Sec. 2.2 induced quasi-metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decay import DecaySpace
+from repro.errors import DecaySpaceError
+from repro.spaces.quasimetric import (
+    QuasiMetric,
+    is_triangle_satisfied,
+    triangle_violations,
+)
+from tests.conftest import random_decay_matrix
+
+
+def metric_matrix() -> np.ndarray:
+    return np.array(
+        [
+            [0.0, 1.0, 2.0],
+            [1.0, 0.0, 1.5],
+            [2.0, 1.5, 0.0],
+        ]
+    )
+
+
+class TestTriangle:
+    def test_metric_satisfies(self):
+        assert is_triangle_satisfied(metric_matrix())
+        assert triangle_violations(metric_matrix()) == []
+
+    def test_violation_detected(self):
+        d = metric_matrix()
+        d[0, 2] = d[2, 0] = 10.0
+        assert not is_triangle_satisfied(d)
+        bad = triangle_violations(d)
+        assert (0, 2, 1) in bad
+
+    def test_directed_violation(self):
+        # Asymmetric: only the ordered triple (0 -> 2) violates.
+        d = metric_matrix()
+        d[0, 2] = 10.0  # but d[2, 0] stays 2.0
+        bad = triangle_violations(d)
+        assert all(x == 0 and y == 2 for x, y, _ in bad)
+
+
+class TestQuasiMetric:
+    def test_valid_construction(self):
+        qm = QuasiMetric(metric_matrix())
+        assert qm.n == 3
+        assert qm.distance(0, 1) == 1.0
+        assert qm.is_symmetric()
+
+    def test_rejects_triangle_violation(self):
+        d = metric_matrix()
+        d[0, 2] = d[2, 0] = 10.0
+        with pytest.raises(DecaySpaceError, match="triangle"):
+            QuasiMetric(d)
+
+    def test_rejects_bad_diagonal(self):
+        d = metric_matrix()
+        d[1, 1] = 1.0
+        with pytest.raises(DecaySpaceError, match="diagonal"):
+            QuasiMetric(d)
+
+    def test_rejects_nonpositive(self):
+        d = metric_matrix()
+        d[0, 1] = 0.0
+        with pytest.raises(DecaySpaceError, match="positive"):
+            QuasiMetric(d)
+
+    def test_ball(self):
+        qm = QuasiMetric(metric_matrix())
+        assert set(qm.ball(0, 1.5)) == {0, 1}
+
+    def test_symmetrized(self):
+        d = np.array(
+            [
+                [0.0, 1.0, 2.0],
+                [1.5, 0.0, 1.5],
+                [2.0, 2.0, 0.0],
+            ]
+        )
+        qm = QuasiMetric(d)
+        assert not qm.is_symmetric()
+        sym = qm.symmetrized()
+        assert sym.is_symmetric()
+        assert sym.distance(0, 1) == 1.5
+
+    def test_len(self):
+        assert len(QuasiMetric(metric_matrix())) == 3
+
+
+@given(
+    st.integers(min_value=3, max_value=7),
+    st.integers(min_value=0, max_value=80),
+)
+def test_induced_quasimetric_always_valid(n, seed):
+    """Sec. 2.2: d = f^(1/zeta) satisfies the directed triangle inequality.
+
+    This is the mechanism behind Proposition 1, checked as a property over
+    random (asymmetric) decay spaces.
+    """
+    f = random_decay_matrix(n, seed=seed, low=0.2, high=40.0, symmetric=False)
+    space = DecaySpace(f)
+    qm = space.induced_quasimetric()
+    assert is_triangle_satisfied(qm.d, rtol=1e-6)
+    # Constructing with validation on must also succeed.
+    QuasiMetric(qm.d, validate=True, rtol=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=40))
+def test_symmetric_space_induces_metric(seed):
+    f = random_decay_matrix(6, seed=seed, symmetric=True)
+    space = DecaySpace(f)
+    assert space.induced_quasimetric().is_symmetric()

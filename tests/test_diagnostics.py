@@ -1,0 +1,69 @@
+"""Tests for the one-call space characterisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.diagnostics import characterize
+from repro.geometry.points import uniform_points
+from repro.spaces.constructions import line_space, uniform_space
+
+
+class TestCharacterize:
+    def test_geometric_space(self):
+        pts = np.concatenate(
+            [uniform_points(10, extent=8.0, seed=1),
+             np.array([[10.0, 10.0], [11.0, 10.0], [12.0, 10.0]])]
+        )
+        report = characterize(DecaySpace.from_points(pts, 3.0))
+        assert report.zeta == pytest.approx(3.0, abs=5e-3)
+        assert report.phi <= report.zeta
+        assert report.symmetric
+        assert report.independence_dimension <= 5  # planar bound
+        assert report.exact
+
+    def test_fading_line(self):
+        report = characterize(line_space(14, spacing=1.0, alpha=2.0))
+        assert report.is_fading
+        assert report.theorem2_bound is not None
+        assert report.gamma <= report.theorem2_bound + 1e-9
+
+    def test_slow_decay_raises_dimension(self):
+        # Finite spaces always fit A slightly below their asymptotic
+        # dimension (packings saturate at n), so compare fits instead of
+        # expecting the alpha=1 line to cross the fading threshold.
+        slow = characterize(line_space(14, spacing=1.0, alpha=1.0))
+        fast = characterize(line_space(14, spacing=1.0, alpha=2.0))
+        assert slow.assouad_dimension > fast.assouad_dimension + 0.2
+
+    def test_uniform_space_unbounded_growth_flags(self):
+        report = characterize(uniform_space(8))
+        assert report.independence_dimension == 1
+        assert report.zeta == 0.0
+
+    def test_custom_radius(self):
+        space = line_space(10, spacing=1.0, alpha=2.0)
+        report = characterize(space, fading_radius=4.0)
+        assert report.fading_radius == 4.0
+
+    def test_large_space_uses_bounds(self):
+        pts = uniform_points(30, extent=15.0, seed=2)
+        report = characterize(DecaySpace.from_points(pts, 3.0), exact_limit=20)
+        assert not report.exact
+        assert report.gamma >= 0.0
+
+    def test_render_contains_parameters(self):
+        report = characterize(line_space(8, spacing=1.0, alpha=2.0))
+        text = str(report)
+        assert "zeta" in text and "phi" in text and "gamma" in text
+        assert "fading" in text
+
+    def test_phi_leq_zeta_always(self):
+        from tests.conftest import random_decay_matrix
+
+        for seed in range(4):
+            space = DecaySpace(random_decay_matrix(8, seed=seed, symmetric=False))
+            report = characterize(space)
+            assert report.phi <= report.zeta + 1e-6

@@ -1,0 +1,77 @@
+"""Tests for decay-space / link-set persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.errors import ReproError
+from repro.io import load_links, load_space, save_links, save_space
+from tests.conftest import make_planar_links, random_decay_matrix
+
+
+class TestSpaceRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        space = DecaySpace(
+            random_decay_matrix(8, seed=1, symmetric=False),
+            labels=[f"n{i}" for i in range(8)],
+        )
+        path = tmp_path / "space.npz"
+        save_space(path, space)
+        loaded = load_space(path)
+        assert loaded == space
+        assert loaded.labels == space.labels
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        space = DecaySpace(random_decay_matrix(5, seed=2))
+        path = tmp_path / "space.npz"
+        save_space(path, space)
+        assert load_space(path) == space
+        assert load_space(path).labels is None
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ReproError, match="not a decay-space"):
+            load_space(path)
+
+    def test_loaded_space_revalidated(self, tmp_path):
+        # Corrupt archive: negative decay must be rejected on load.
+        path = tmp_path / "bad.npz"
+        f = random_decay_matrix(4, seed=3)
+        f[0, 1] = -1.0
+        np.savez(path, format_version=np.array([1]), decay=f)
+        with pytest.raises(Exception):
+            load_space(path)
+
+
+class TestLinksRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        links = make_planar_links(6, alpha=3.0, seed=4)
+        path = tmp_path / "links.npz"
+        save_links(path, links)
+        loaded = load_links(path)
+        assert loaded.m == links.m
+        assert np.array_equal(loaded.senders, links.senders)
+        assert np.array_equal(loaded.receivers, links.receivers)
+        assert loaded.space == links.space
+
+    def test_semantics_preserved(self, tmp_path):
+        """Algorithms produce identical output on the reloaded instance."""
+        from repro.algorithms.capacity import capacity_bounded_growth
+
+        links = make_planar_links(8, alpha=3.0, seed=5)
+        path = tmp_path / "links.npz"
+        save_links(path, links)
+        loaded = load_links(path)
+        assert (
+            capacity_bounded_growth(loaded).selected
+            == capacity_bounded_growth(links).selected
+        )
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, decay=random_decay_matrix(3, seed=1))
+        with pytest.raises(ReproError, match="not a link-set"):
+            load_links(path)
