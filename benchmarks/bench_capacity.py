@@ -13,6 +13,10 @@ from benchmarks.conftest import once, planar_link_instance
 from repro.algorithms.capacity import capacity_bounded_growth
 from repro.algorithms.capacity_general import capacity_general_metric
 from repro.algorithms.capacity_opt import capacity_optimum
+from repro.algorithms.scheduling import (
+    schedule_first_fit,
+    schedule_repeated_capacity,
+)
 from repro.core.feasibility import is_feasible
 from repro.core.power import uniform_power
 from repro.experiments.exp_capacity import (
@@ -48,6 +52,23 @@ def test_kernel_exact_optimum(benchmark):
     )
     assert size >= 1
     benchmark.extra_info["OPT"] = size
+
+
+def test_kernel_schedule_repeated_m150(benchmark):
+    """The acceptance kernel: seed rebuilt matrices per round (~4.5 s)."""
+    links = planar_link_instance(150, alpha=3.0, seed=7)
+
+    schedule = once(benchmark, schedule_repeated_capacity, links)
+    assert schedule.all_links() == tuple(range(150))
+    benchmark.extra_info["slots"] = schedule.length
+    benchmark.extra_info["seed baseline (s)"] = 4.5
+
+
+def test_kernel_schedule_first_fit_m150(benchmark):
+    links = planar_link_instance(150, alpha=3.0, seed=7)
+    schedule = once(benchmark, schedule_first_fit, links)
+    assert schedule.all_links() == tuple(range(150))
+    benchmark.extra_info["slots"] = schedule.length
 
 
 def test_e9a_alpha_sweep(benchmark):

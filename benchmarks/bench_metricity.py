@@ -1,7 +1,9 @@
 """Benchmarks and reproduction for E1/E10: metricity computations.
 
-Kernels: the vectorized triple predicate and the bisection at n = 60,
-plus varphi.  Experiment targets regenerate the E1 and E10 tables.
+Kernels: the vectorized triple predicate, the root-solving metricity
+kernel at n = 60 and n = 300 (the headline speedup of the vectorized
+rewrite — the seed bisection took ~4.4 s at n = 300), plus varphi.
+Experiment targets regenerate the E1 and E10 tables.
 """
 
 from __future__ import annotations
@@ -11,7 +13,12 @@ import pytest
 
 from benchmarks.conftest import once
 from repro.core.decay import DecaySpace
-from repro.core.metricity import metricity, satisfies_metricity, varphi
+from repro.core.metricity import (
+    metricity,
+    metricity_bisection,
+    satisfies_metricity,
+    varphi,
+)
 from repro.experiments.exp_metricity import (
     environment_metricity_table,
     geometric_metricity_table,
@@ -40,6 +47,28 @@ def test_kernel_metricity_bisection(benchmark, big_space):
 def test_kernel_varphi(benchmark, big_space):
     v = benchmark(varphi, big_space)
     assert v <= 4.0 + 1e-9
+
+
+@pytest.fixture(scope="module")
+def n300_space() -> DecaySpace:
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 20, size=(300, 2))
+    return DecaySpace.from_points(pts, 3.0)
+
+
+def test_kernel_metricity_n300(benchmark, n300_space):
+    """The acceptance kernel: seed took 4.4 s, target <= 0.22 s."""
+    z = benchmark(metricity, n300_space)
+    assert z == pytest.approx(3.0, abs=5e-3)
+    benchmark.extra_info["seed baseline (s)"] = 4.4
+
+
+def test_kernel_metricity_bisection_reference_n60(benchmark, big_space):
+    """The historical predicate bisection, for the speedup ratio."""
+    z = benchmark.pedantic(
+        metricity_bisection, args=(big_space,), rounds=1, iterations=1
+    )
+    assert z == pytest.approx(3.0, abs=5e-3)
 
 
 def test_e1a_geometric_metricity(benchmark):

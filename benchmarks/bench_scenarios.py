@@ -1,0 +1,36 @@
+"""Benchmarks across the scenario registry: algorithms beyond geometry.
+
+One bench target per registered scenario runs the full pipeline on a
+shared :class:`SchedulingContext` — metricity resolution, Algorithm 1, and
+repeated-capacity scheduling — so ``--benchmark-only`` reports how every
+decay-space family (uniform, clustered, walls, measured asymmetry,
+Rayleigh snapshot) stresses the kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms.context import SchedulingContext
+from repro.scenarios import build_scenario, scenario_names
+
+M_LINKS = 60
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_pipeline(benchmark, name):
+    links = build_scenario(name, n_links=M_LINKS, seed=11)
+
+    def run():
+        ctx = SchedulingContext(links)
+        selected, _ = ctx.capacity_bounded_growth()
+        slots = ctx.repeated_capacity()
+        return ctx.zeta, len(selected), len(slots)
+
+    zeta, capacity, slots = once(benchmark, run)
+    benchmark.extra_info["zeta"] = round(zeta, 3)
+    benchmark.extra_info["capacity"] = capacity
+    benchmark.extra_info["slots"] = slots
+    assert 1 <= capacity <= M_LINKS
+    assert 1 <= slots <= M_LINKS

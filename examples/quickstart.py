@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""Quickstart: decay spaces, metricity, and capacity in 60 lines.
+"""Quickstart: decay spaces, metricity, and capacity in a few steps.
 
 Builds a geometric decay space, inspects its metricity (which equals the
 path-loss exponent, per Sec. 2.2 of the paper), runs Algorithm 1 for the
 CAPACITY problem, verifies the output is SINR-feasible, and schedules all
-links into feasible slots.
+links into feasible slots — then does it all again through a shared
+``SchedulingContext`` (one set of matrices for every call) on a scenario
+from the registry.
 
 Run:  python examples/quickstart.py
 """
@@ -16,6 +18,8 @@ import numpy as np
 from repro import (
     DecaySpace,
     LinkSet,
+    SchedulingContext,
+    build_scenario,
     capacity_bounded_growth,
     is_feasible,
     schedule_first_fit,
@@ -56,6 +60,22 @@ def main() -> None:
     print(f"\nfull schedule uses {schedule.length} slots:")
     for t, slot in enumerate(schedule.slots):
         print(f"  slot {t}: links {list(slot)}")
+
+    # 6. Shared context: affectance, link distances and zeta computed once,
+    #    reused by every capacity / scheduling call on the same links.
+    ctx = SchedulingContext(links)
+    selected, _ = ctx.capacity_bounded_growth()
+    slots = ctx.repeated_capacity()
+    print(f"\nvia SchedulingContext: capacity {len(selected)}, "
+          f"repeated-capacity schedule {len(slots)} slots, "
+          f"slot 0 feasible: {ctx.is_feasible(slots[0])}")
+
+    # 7. Scenario registry: the same pipeline beyond geometry (here, an
+    #    indoor corridor whose walls push the metricity above alpha).
+    corridor = build_scenario("corridor", n_links=N_LINKS, seed=SEED)
+    ctx = SchedulingContext(corridor)
+    print(f"\ncorridor scenario: zeta = {ctx.zeta:.2f} (> alpha: walls break "
+          f"geometry), schedule uses {len(ctx.repeated_capacity())} slots")
 
 
 if __name__ == "__main__":

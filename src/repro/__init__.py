@@ -32,11 +32,15 @@ Subpackages
     The Theorem 3 and Theorem 6 lower-bound constructions.
 ``repro.experiments``
     Drivers regenerating every quantitative claim (see EXPERIMENTS.md).
+``repro.scenarios``
+    Registry of named, seeded link-set generators (uniform, clustered,
+    corridor walls, asymmetric measurements, Rayleigh fade snapshots).
 """
 
 from repro.algorithms import (
     CapacityResult,
     Schedule,
+    SchedulingContext,
     amicable_subset,
     capacity_bounded_growth,
     capacity_general_metric,
@@ -69,6 +73,7 @@ from repro.geometry import (
     office_floorplan,
 )
 from repro.hardness import equidecay_instance, twoline_instance
+from repro.scenarios import build_scenario, register_scenario, scenario_names
 from repro.spaces import (
     assouad_dimension,
     fading_parameter,
@@ -86,6 +91,7 @@ __all__ = [
     "LinkSet",
     "MeasurementModel",
     "Schedule",
+    "SchedulingContext",
     "SpaceReport",
     "Wall",
     "__version__",
@@ -93,6 +99,7 @@ __all__ = [
     "amicable_subset",
     "assouad_dimension",
     "build_environment_space",
+    "build_scenario",
     "capacity_bounded_growth",
     "capacity_general_metric",
     "capacity_optimum",
@@ -107,8 +114,10 @@ __all__ = [
     "metricity",
     "office_floorplan",
     "phi",
+    "register_scenario",
     "run_local_broadcast",
     "run_regret_capacity",
+    "scenario_names",
     "schedule_first_fit",
     "schedule_repeated_capacity",
     "signal_strengthening",

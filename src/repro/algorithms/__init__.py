@@ -12,6 +12,7 @@ from repro.algorithms.amicability import (
     verify_amicability,
 )
 from repro.algorithms.capacity import CapacityResult, capacity_bounded_growth
+from repro.algorithms.context import SchedulingContext
 from repro.algorithms.capacity_general import (
     capacity_general_metric,
     capacity_strongest_first,
@@ -50,6 +51,7 @@ __all__ = [
     "CapacityResult",
     "OPT_LIMIT",
     "Schedule",
+    "SchedulingContext",
     "affectance_conflict_graph",
     "amicable_subset",
     "capacity_bounded_growth",

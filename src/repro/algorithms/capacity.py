@@ -18,10 +18,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.affectance import affectance_matrix, in_affectances_within
+from repro.algorithms.context import SchedulingContext, check_context
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
-from repro.core.separation import link_distance_matrix
 
 __all__ = ["CapacityResult", "capacity_bounded_growth"]
 
@@ -40,13 +39,16 @@ class CapacityResult:
     zeta:
         The metricity value the run used (``nan`` when not applicable).
     powers:
-        The power assignment under which the output is feasible.
+        The power assignment under which the output is feasible, or
+        ``None`` when the producing algorithm did not record one (the
+        field is excluded from ``repr`` and equality, so unset powers are
+        safe to print and compare).
     """
 
     selected: tuple[int, ...]
     candidate: tuple[int, ...]
     zeta: float
-    powers: np.ndarray = field(repr=False, compare=False, default=None)
+    powers: np.ndarray | None = field(repr=False, compare=False, default=None)
 
     @property
     def size(self) -> int:
@@ -61,6 +63,7 @@ def capacity_bounded_growth(
     noise: float = 0.0,
     beta: float = 1.0,
     zeta: float | None = None,
+    context: SchedulingContext | None = None,
 ) -> CapacityResult:
     """Run Algorithm 1 with uniform power.
 
@@ -74,6 +77,13 @@ def capacity_bounded_growth(
         Metricity override; defaults to the decay space's own metricity
         (clamped below at 1 so the separation requirement stays
         meaningful on nearly-uniform spaces).
+    context:
+        Optional shared :class:`SchedulingContext`; the affectance and
+        link-distance matrices are taken from it instead of being rebuilt.
+        It must have been created for ``links`` with the same uniform
+        power and physical parameters (validated; :class:`LinkError`
+        otherwise), and an explicit ``zeta`` override must match the
+        context's resolved value.
 
     Returns
     -------
@@ -81,39 +91,24 @@ def capacity_bounded_growth(
         With ``selected`` the feasible output ``S`` and ``candidate`` the
         internal set ``X``.
     """
-    z = links._resolve_zeta(zeta)
-    z = max(z, 1.0)
-    powers = uniform_power(links, power)
-    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=True)
-    dist = link_distance_matrix(links, z)
-    qlen = np.diagonal(dist)
-    eta = z / 2.0
-
-    x: list[int] = []
-    in_aff = np.zeros(links.m)  # a_X(v) for every link v
-    out_aff = np.zeros(links.m)  # a_v(X) for every link v
-    for v in links.order_by_length():
-        v = int(v)
-        if x:
-            separated = bool(np.all(dist[v, x] >= eta * qlen[v]))
-        else:
-            separated = True
-        if separated and out_aff[v] + in_aff[v] <= 0.5:
-            x.append(v)
-            in_aff += a[v]  # l_v now affects every other link
-            out_aff += a[:, v]  # every link's out-affectance onto X grows
-
-    x_arr = np.asarray(x, dtype=int)
-    if x_arr.size:
-        final_in = in_affectances_within(a, x_arr)
-        selected = tuple(
-            sorted(int(v) for v, load in zip(x_arr, final_in) if load <= 1.0)
+    ctx = context
+    if ctx is None:
+        ctx = SchedulingContext(
+            links, uniform_power(links, power), noise=noise, beta=beta, zeta=zeta
         )
     else:
-        selected = ()
+        check_context(ctx, links, noise, beta, uniform_power(links, power))
+        if zeta is not None and ctx.zeta != float(zeta):
+            from repro.errors import LinkError
+
+            raise LinkError(
+                f"supplied SchedulingContext resolved zeta={ctx.zeta}, "
+                f"which conflicts with the explicit zeta={zeta}"
+            )
+    selected, candidate = ctx.capacity_bounded_growth()
     return CapacityResult(
         selected=selected,
-        candidate=tuple(x),
-        zeta=float(z),
-        powers=powers,
+        candidate=candidate,
+        zeta=float(ctx.zeta_capacity),
+        powers=ctx.powers,
     )

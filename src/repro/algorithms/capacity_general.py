@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.capacity import CapacityResult
+from repro.algorithms.context import SchedulingContext
 from repro.core.affectance import affectance_matrix, in_affectances_within
 from repro.core.links import LinkSet
 from repro.core.power import is_monotone, uniform_power
@@ -57,28 +58,12 @@ def capacity_general_metric(
             "capacity_general_metric requires a monotone power assignment; "
             "pass require_monotone=False to override"
         )
-    a = affectance_matrix(links, p, noise=noise, beta=beta, clip=True)
-
-    x: list[int] = []
-    in_aff = np.zeros(links.m)
-    out_aff = np.zeros(links.m)
-    for v in links.order_by_length():
-        v = int(v)
-        if out_aff[v] + in_aff[v] <= admission_threshold:
-            x.append(v)
-            in_aff += a[v]
-            out_aff += a[:, v]
-
-    x_arr = np.asarray(x, dtype=int)
-    if x_arr.size:
-        final_in = in_affectances_within(a, x_arr)
-        selected = tuple(
-            sorted(int(v) for v, load in zip(x_arr, final_in) if load <= 1.0)
-        )
-    else:
-        selected = ()
+    ctx = SchedulingContext(links, p, noise=noise, beta=beta)
+    selected, candidate = ctx.capacity_general(
+        admission_threshold=admission_threshold
+    )
     return CapacityResult(
-        selected=selected, candidate=tuple(x), zeta=float("nan"), powers=p
+        selected=selected, candidate=candidate, zeta=float("nan"), powers=p
     )
 
 

@@ -9,45 +9,28 @@ strategies:
   feasible set per slot;
 * :func:`schedule_first_fit` — first-fit links into the earliest feasible
   slot (exact feasibility checks), a strong practical baseline.
+
+Both run on a :class:`~repro.algorithms.context.SchedulingContext`, so the
+affectance matrix, link distances, and metricity are computed once for the
+whole schedule instead of once per round; pass ``context=`` to share the
+matrices across several calls.  Supplying a custom ``capacity_algorithm``
+falls back to the historical per-round ``LinkSet`` rebuild, which accepts
+any callable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.algorithms.capacity import CapacityResult, capacity_bounded_growth
-from repro.core.affectance import affectance_matrix
+from repro.algorithms.capacity_general import capacity_general_metric
+from repro.algorithms.context import Schedule, SchedulingContext, check_context
 from repro.core.links import LinkSet
-from repro.core.power import uniform_power
 from repro.errors import LinkError
 
 __all__ = ["Schedule", "schedule_repeated_capacity", "schedule_first_fit"]
-
-
-@dataclass(frozen=True)
-class Schedule:
-    """A slot assignment: a partition of link indices into feasible slots."""
-
-    slots: tuple[tuple[int, ...], ...]
-
-    @property
-    def length(self) -> int:
-        """Number of slots."""
-        return len(self.slots)
-
-    def slot_of(self, v: int) -> int:
-        """The slot index carrying link ``v``; raises when unscheduled."""
-        for t, slot in enumerate(self.slots):
-            if v in slot:
-                return t
-        raise LinkError(f"link {v} is not scheduled")
-
-    def all_links(self) -> tuple[int, ...]:
-        """Every scheduled link index, sorted."""
-        return tuple(sorted(v for slot in self.slots for v in slot))
 
 
 def schedule_repeated_capacity(
@@ -57,6 +40,7 @@ def schedule_repeated_capacity(
     noise: float = 0.0,
     beta: float = 1.0,
     max_slots: int | None = None,
+    context: SchedulingContext | None = None,
 ) -> Schedule:
     """Schedule by repeatedly removing an (approximately) maximum feasible set.
 
@@ -65,8 +49,28 @@ def schedule_repeated_capacity(
     non-empty remainder (possible on adversarial instances), the remaining
     link of smallest length is scheduled alone — a single link is always
     feasible when noise permits.
+
+    The default (and :func:`capacity_general_metric`) runs through a shared
+    :class:`SchedulingContext` on index masks — no per-round ``LinkSet``
+    rebuilds — producing byte-identical slots to the historical
+    implementation at a fraction of the cost.  Any other callable takes the
+    generic per-round-subset path.
     """
-    algo = capacity_algorithm or capacity_bounded_growth
+    ctx = None if context is None else check_context(context, links, noise, beta)
+    if capacity_algorithm is None or capacity_algorithm is capacity_bounded_growth:
+        admission = "bounded_growth"
+    elif capacity_algorithm is capacity_general_metric:
+        admission = "general"
+    else:
+        admission = None
+    if admission is not None:
+        if ctx is None:
+            ctx = SchedulingContext(links, noise=noise, beta=beta)
+        return Schedule(
+            ctx.repeated_capacity(admission=admission, max_slots=max_slots)
+        )
+
+    algo = capacity_algorithm
     remaining = list(range(links.m))
     slots: list[tuple[int, ...]] = []
     cap = max_slots if max_slots is not None else links.m
@@ -94,31 +98,19 @@ def schedule_first_fit(
     noise: float = 0.0,
     beta: float = 1.0,
     order: Sequence[int] | None = None,
+    context: SchedulingContext | None = None,
 ) -> Schedule:
     """First-fit scheduling with exact incremental feasibility checks.
 
-    Links are processed shortest-first (or in the given order) and placed
-    in the earliest slot that stays feasible with them added.
+    Links are processed shortest-first (or in the given ``order``) and
+    placed in the earliest slot that stays feasible with them added.  An
+    explicit ``order`` must be a permutation of all link indices; repeated
+    or missing indices raise :class:`LinkError` (a repeated index would
+    silently double-schedule a link, so the result would not be a
+    partition).
     """
-    p = uniform_power(links) if powers is None else np.asarray(powers, dtype=float)
-    a = affectance_matrix(links, p, noise=noise, beta=beta, clip=False)
-    sequence = (
-        [int(v) for v in links.order_by_length()] if order is None else list(order)
-    )
-    slots: list[list[int]] = []
-    in_aff: list[np.ndarray] = []  # per-slot a_slot(v) over all links
-    for v in sequence:
-        placed = False
-        for t, slot in enumerate(slots):
-            if in_aff[t][v] > 1.0:
-                continue
-            members_ok = all(in_aff[t][w] + a[v, w] <= 1.0 for w in slot)
-            if members_ok:
-                slot.append(v)
-                in_aff[t] += a[v]
-                placed = True
-                break
-        if not placed:
-            slots.append([v])
-            in_aff.append(a[v].copy())
-    return Schedule(tuple(tuple(sorted(s)) for s in slots))
+    if context is None:
+        ctx = SchedulingContext(links, powers, noise=noise, beta=beta)
+    else:
+        ctx = check_context(context, links, noise, beta, powers)
+    return Schedule(ctx.first_fit(order=order))

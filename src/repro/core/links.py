@@ -158,10 +158,20 @@ class LinkSet:
         return order[::-1] if descending else order
 
     def subset(self, indices: Iterable[int]) -> "LinkSet":
-        """A new :class:`LinkSet` containing the selected links (same space)."""
-        idx = list(indices)
+        """A new :class:`LinkSet` containing the selected links (same space).
+
+        Indices must be existing link positions ``0 .. m-1``; negative or
+        out-of-range values raise :class:`LinkError` (Python's negative
+        wrap-around would silently select the wrong link).
+        """
+        idx = [int(i) for i in indices]
         if not idx:
             raise LinkError("cannot build an empty link subset")
+        bad = [i for i in idx if i < 0 or i >= self.m]
+        if bad:
+            raise LinkError(
+                f"subset indices must be in 0..{self.m - 1}, got {bad[:5]}"
+            )
         return LinkSet(self._space, [self._links[i] for i in idx])
 
     def quasi_lengths(self, zeta: float | None = None) -> np.ndarray:

@@ -8,8 +8,22 @@ exponent such that for every triple ``x, y, z``::
 For geometric path loss ``f = d^alpha`` over a metric ``d``, the metricity
 is exactly ``alpha``.  The satisfying set of exponents is an interval
 ``[zeta(D), inf)`` because the map ``t -> (a^t + b^t)^(1/t)`` (the l_t norm
-of the two detour decays) is non-increasing in ``t = 1/zeta``; this
-monotonicity is what makes the bisection in :func:`metricity` correct.
+of the two detour decays) is non-increasing in ``t = 1/zeta``.
+
+:func:`metricity` exploits this interval structure per *triple* rather than
+globally: writing ``a = ln(f_xz / f_xy)`` and ``b = ln(f_zy / f_xy)``, a
+triple constrains ``zeta`` only when both log-ratios are negative, and its
+minimal exponent is the unique root of ``exp(a/zeta) + exp(b/zeta) = 1``.
+The global metricity is the maximum root over all constraining triples.
+One blocked pass per middle node screens triples with the *exact*
+predicate at the running maximum ``best`` — which is simply the triangle
+inequality in the induced quasi-distance ``g = f^(1/best)``, so the scan
+is one outer-add and one compare per block — and only the violators (none,
+once ``best`` is right) reach the vectorized Newton solve, which starts
+from the AM-GM feasible point ``zeta0 = -(a + b) / (2 ln 2)``.
+
+The historical predicate-bisection implementation is retained as
+:func:`metricity_bisection` for cross-checking; both agree to tolerance.
 
 Section 4.2 of the paper additionally studies the *relaxed-triangle*
 parameter ``varphi``: the smallest value such that
@@ -37,6 +51,7 @@ from repro.errors import ConvergenceError, DecaySpaceError
 __all__ = [
     "satisfies_metricity",
     "metricity",
+    "metricity_bisection",
     "metricity_witness",
     "zeta_of_triple",
     "varphi",
@@ -46,6 +61,8 @@ __all__ = [
 
 #: Slack applied to the vectorized triple test to absorb float rounding.
 _PREDICATE_SLACK = 1e-12
+
+_LN2 = float(np.log(2.0))
 
 
 def _as_matrix(space: DecaySpace | np.ndarray) -> np.ndarray:
@@ -138,20 +155,143 @@ def metricity_witness(
     return None
 
 
+def _solve_triple_zetas(
+    a: np.ndarray, b: np.ndarray, tol: float, max_iterations: int
+) -> np.ndarray:
+    """Vectorized roots of ``exp(a/zeta) + exp(b/zeta) = 1`` for ``a, b < 0``.
+
+    Newton iteration in ``u = 1/zeta`` on the convex, decreasing map
+    ``h(u) = exp(a u) + exp(b u)``.  Started from the AM-GM feasible point
+    ``u0 = -2 ln 2 / (a + b)`` (where ``h(u0) >= 1``), convexity makes the
+    iterates increase monotonically towards the root while keeping
+    ``h >= 1``, so every iterate — in particular the returned one —
+    satisfies the metricity predicate for its triple.  Convergence is
+    quadratic; the iteration cap is a safety net, not a budget.
+    """
+    u = -2.0 * _LN2 / (a + b)
+    z = 1.0 / u
+    for _ in range(max_iterations):
+        ea = np.exp(a * u)
+        eb = np.exp(b * u)
+        hp = a * ea + b * eb  # h'(u), strictly negative on the domain
+        u = u + (1.0 - (ea + eb)) / hp
+        z_new = 1.0 / u
+        if np.all(np.abs(z - z_new) <= tol):
+            z = z_new
+            break
+        z = z_new
+    # Float safety: if rounding left an iterate infinitesimally past the
+    # root (h < 1), step u back until the predicate holds again.
+    for _ in range(8):
+        bad = np.exp(a * u) + np.exp(b * u) < 1.0
+        if not bad.any():
+            break
+        u[bad] *= 1.0 - 4.0 * np.finfo(float).eps
+    return 1.0 / u
+
+
 def metricity(
     space: DecaySpace | np.ndarray,
     tol: float = 1e-9,
     max_iterations: int = 200,
 ) -> float:
-    """The metricity ``zeta(D)`` of Definition 2.2, via bisection.
+    """The metricity ``zeta(D)`` of Definition 2.2, via per-triple roots.
 
-    Returns the smallest ``zeta`` (within absolute tolerance ``tol``) such
-    that every triple satisfies inequality (2).  The returned value always
-    *satisfies* the predicate (we bisect and report the feasible endpoint).
+    A single blocked pass over middle nodes ``z`` screens every triple
+    with the exact predicate at the running maximum — the triangle
+    inequality in the induced quasi-distance (see module docstring) — and
+    resolves the violating triples' log-ratios ``a = ln(f_xz/f_xy)``,
+    ``b = ln(f_zy/f_xy)`` exactly with :func:`_solve_triple_zetas`
+    (triples with ``max(a, b) >= 0`` are satisfied at every positive
+    exponent and never constrain).  The result is the maximum per-triple
+    root — the same value the predicate bisection of
+    :func:`metricity_bisection` brackets, but computed in one sweep
+    instead of ~40.
 
     Spaces in which every triple holds for arbitrarily small exponents
     (e.g. uniform decays) have an infimum of 0; this function then returns
     ``0.0`` by convention.
+    """
+    f = _as_matrix(space)
+    n = f.shape[0]
+    if n <= 2:
+        return 0.0
+    logf = _log_matrix(f)
+    best = 0.0
+    # The block scan tests the *exact* predicate at the incumbent: a triple
+    # can raise the maximum only if it violates the triangle inequality in
+    # the quasi-distance g = (f / max f)^(1/best), i.e.
+    # g[x, z] + g[z, y] < g[x, y] — one outer-add and one compare per
+    # middle node.  g is rebuilt only when the incumbent improves (rarely
+    # more than a handful of times).  When f's dynamic range is too wide
+    # for the power (span / best beyond float range), the same test runs in
+    # the log domain via logaddexp.  Repeated-node triples need no special
+    # casing: the zero (resp. -inf) diagonal makes them non-violating.
+    fmax = float(f.max())
+    with np.errstate(divide="ignore"):
+        span = float(np.log2(fmax) - np.log2(f[f > 0.0].min())) if fmax > 0 else 0.0
+    quasi: np.ndarray | None = None
+    use_log = False
+
+    def _rebuild() -> None:
+        nonlocal quasi, use_log
+        use_log = not np.isfinite(span) or span / best > 1000.0
+        quasi = logf / best if use_log else (f / fmax) ** (1.0 / best)
+
+    sums = np.empty_like(logf)
+    viol = np.empty(logf.shape, dtype=bool)
+    for z in range(n):
+        if best == 0.0:
+            # No incumbent yet: solve every constraining triple of this
+            # block from the log-ratios directly.
+            with np.errstate(invalid="ignore"):
+                d_a = logf[:, z][:, None] - logf
+                d_b = logf[z, :][None, :] - logf
+                nontrivial = np.maximum(d_a, d_b) < 0.0
+            if not nontrivial.any():
+                continue
+            roots = _solve_triple_zetas(
+                d_a[nontrivial], d_b[nontrivial], tol, max_iterations
+            )
+            best = float(roots.max())
+            _rebuild()
+            continue
+        if use_log:
+            np.logaddexp(quasi[:, z][:, None], quasi[z, :][None, :], out=sums)
+        else:
+            np.add(quasi[:, z][:, None], quasi[z, :][None, :], out=sums)
+        np.less(sums, quasi, out=viol)
+        if not viol.any():
+            continue
+        xi, yi = np.nonzero(viol)
+        base = logf[xi, yi]
+        # a = ln(f_xz / f_xy), b = ln(f_zy / f_xy) for the violators only.
+        aa = logf[xi, z] - base
+        bb = logf[z, yi] - base
+        keep = np.maximum(aa, bb) < 0.0
+        if not keep.any():
+            continue
+        roots = _solve_triple_zetas(aa[keep], bb[keep], tol, max_iterations)
+        top = float(roots.max())
+        if top > best:
+            best = top
+            _rebuild()
+    return best if best > tol / 4.0 else 0.0
+
+
+def metricity_bisection(
+    space: DecaySpace | np.ndarray,
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """The metricity ``zeta(D)`` via global predicate bisection.
+
+    Reference implementation kept for cross-validation of the vectorized
+    kernel in :func:`metricity`; about an order of magnitude slower (one
+    full O(n^3) predicate sweep per bisection step).  Returns the smallest
+    ``zeta`` (within absolute tolerance ``tol``) such that every triple
+    satisfies inequality (2); the returned value always *satisfies* the
+    predicate (we bisect and report the feasible endpoint).
     """
     f = _as_matrix(space)
     n = f.shape[0]
@@ -197,25 +337,9 @@ def zeta_of_triple(
         raise ValueError("triple decays must be positive")
     if fxy <= max(fxz, fzy):
         return 0.0
-
-    def holds(zeta: float) -> bool:
-        da = (np.log(fxz) - np.log(fxy)) / zeta
-        db = (np.log(fzy) - np.log(fxy)) / zeta
-        return bool(np.exp(da) + np.exp(db) >= 1.0)
-
-    hi = max(1.0, float(np.log2(fxy / min(fxz, fzy))))
-    while not holds(hi):  # pragma: no cover - defensive
-        hi *= 2.0
-    lo = tol
-    if holds(lo):
-        return 0.0
-    while hi - lo > tol:
-        mid = (lo + hi) / 2.0
-        if holds(mid):
-            hi = mid
-        else:
-            lo = mid
-    return float(hi)
+    a = np.array([np.log(fxz) - np.log(fxy)])
+    b = np.array([np.log(fzy) - np.log(fxy)])
+    return float(_solve_triple_zetas(a, b, tol, 200)[0])
 
 
 def varphi(space: DecaySpace | np.ndarray) -> float:

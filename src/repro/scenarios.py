@@ -1,0 +1,248 @@
+"""Scenario registry: named link-set generators over diverse decay spaces.
+
+The paper's point is that algorithms designed for decay spaces keep their
+guarantees *beyond geometry* — under walls, measured asymmetries, and
+fading.  The registry makes that claim testable at scale: every scenario is
+a named, seeded builder producing a :class:`~repro.core.links.LinkSet`
+whose decay space stresses a different departure from pure geometric path
+loss, and examples, benchmarks, and the test suite iterate
+:func:`scenario_names` so every algorithm is exercised across all of them.
+
+Built-in scenarios
+------------------
+``planar_uniform``
+    Uniformly placed sender/receiver pairs under geometric decay
+    ``f = d^alpha`` — the GEO-SINR baseline (metricity = alpha).
+``clustered``
+    Senders concentrated in a few dense clusters: highly non-uniform link
+    densities, the hard regime for admission thresholds.
+``corridor``
+    An indoor corridor crossed by partition walls (multi-wall COST-231
+    model via :mod:`repro.geometry.environment`): decay stops being a
+    function of distance, raising the metricity above alpha.
+``asymmetric_measured``
+    Geometric base decay perturbed by independent log-normal measurement
+    noise per *ordered* pair — the space is not symmetric, as with real
+    per-direction channel soundings.
+``rayleigh_fading``
+    A Rayleigh fade snapshot: each ordered pair's gain is scaled by an
+    independent exponential fade (Sec. 5 of the paper studies the expected
+    behaviour; a snapshot is one draw of the resulting decay space).
+
+Registering a new scenario::
+
+    from repro.scenarios import register_scenario
+
+    @register_scenario("my_scenario")
+    def _build(n_links: int, seed: int) -> LinkSet:
+        ...
+
+All builders must be deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.errors import DecaySpaceError
+from repro.geometry.environment import Environment, Wall
+
+__all__ = [
+    "SCENARIOS",
+    "register_scenario",
+    "scenario_names",
+    "build_scenario",
+    "iter_scenarios",
+]
+
+#: Builder signature: ``(n_links, seed, **kwargs) -> LinkSet``.
+ScenarioBuilder = Callable[..., LinkSet]
+
+#: The global registry, name -> builder.
+SCENARIOS: dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Decorator registering a builder under ``name`` (must be unused)."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in SCENARIOS:
+            raise DecaySpaceError(f"scenario {name!r} is already registered")
+        SCENARIOS[name] = builder
+        return builder
+
+    return decorator
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def build_scenario(name: str, n_links: int = 50, seed: int = 0, **kwargs) -> LinkSet:
+    """Build the named scenario at the given size and seed."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise DecaySpaceError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+    return builder(n_links, seed, **kwargs)
+
+
+def iter_scenarios(
+    n_links: int = 50, seed: int = 0
+) -> Iterator[tuple[str, LinkSet]]:
+    """Yield ``(name, links)`` for every registered scenario."""
+    for name in scenario_names():
+        yield name, build_scenario(name, n_links=n_links, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Geometry helpers
+# ----------------------------------------------------------------------
+def _receivers_near(
+    senders: np.ndarray,
+    rng: np.random.Generator,
+    min_len: float = 0.4,
+    max_len: float = 1.2,
+) -> np.ndarray:
+    """Receivers at a random short offset from each sender."""
+    n = senders.shape[0]
+    angle = rng.uniform(0, 2 * np.pi, size=n)
+    radius = rng.uniform(min_len, max_len, size=n)
+    return senders + np.stack(
+        [radius * np.cos(angle), radius * np.sin(angle)], axis=1
+    )
+
+
+def _paired_linkset(n_links: int, space: DecaySpace) -> LinkSet:
+    """Links (i -> n + i) over a space built from [senders; receivers]."""
+    return LinkSet(space, [(i, n_links + i) for i in range(n_links)])
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+@register_scenario("planar_uniform")
+def planar_uniform(
+    n_links: int, seed: int = 0, alpha: float = 3.0, density: float = 4.0
+) -> LinkSet:
+    """Uniform sender placement in a box scaled to keep density constant."""
+    rng = np.random.default_rng(seed)
+    extent = density * np.sqrt(max(n_links, 1))
+    senders = rng.uniform(0, extent, size=(n_links, 2))
+    receivers = _receivers_near(senders, rng)
+    pts = np.concatenate([senders, receivers])
+    space = DecaySpace.from_points(pts, alpha)
+    return _paired_linkset(n_links, space)
+
+
+@register_scenario("clustered")
+def clustered(
+    n_links: int, seed: int = 0, alpha: float = 3.0, clusters: int | None = None
+) -> LinkSet:
+    """Senders drawn from a few Gaussian clusters (hotspot traffic)."""
+    rng = np.random.default_rng(seed)
+    k = clusters if clusters is not None else max(2, n_links // 12)
+    extent = 4.0 * np.sqrt(max(n_links, 1))
+    centers = rng.uniform(0, extent, size=(k, 2))
+    assignment = rng.integers(0, k, size=n_links)
+    senders = centers[assignment] + rng.normal(0, extent / 25.0, size=(n_links, 2))
+    receivers = _receivers_near(senders, rng)
+    pts = np.concatenate([senders, receivers])
+    space = DecaySpace.from_points(pts, alpha)
+    return _paired_linkset(n_links, space)
+
+
+@register_scenario("corridor")
+def corridor(
+    n_links: int,
+    seed: int = 0,
+    alpha: float = 3.0,
+    width: float = 4.0,
+    wall_spacing: float = 6.0,
+    material: str = "drywall",
+) -> LinkSet:
+    """A long corridor crossed by partition walls every ``wall_spacing``.
+
+    The multi-wall attenuation makes decay non-monotone in distance: links
+    through several partitions decay far faster than free-space geometry
+    predicts, which drives the metricity above ``alpha``.
+    """
+    rng = np.random.default_rng(seed)
+    length = max(2.0, 1.5 * wall_spacing * np.sqrt(max(n_links, 1)))
+    env = Environment(alpha=alpha)
+    x = wall_spacing
+    while x < length:
+        # Partitions leave a door gap on alternating sides of the corridor.
+        if int(x / wall_spacing) % 2 == 0:
+            env.add_wall(Wall.of(x, width * 0.25, x, width, material=material))
+        else:
+            env.add_wall(Wall.of(x, 0.0, x, width * 0.75, material=material))
+        x += wall_spacing
+    senders = np.stack(
+        [rng.uniform(0, length, size=n_links), rng.uniform(0, width, size=n_links)],
+        axis=1,
+    )
+    receivers = _receivers_near(senders, rng, min_len=0.4, max_len=1.0)
+    receivers[:, 1] = np.clip(receivers[:, 1], 0.05, width - 0.05)
+    pts = np.concatenate([senders, receivers])
+    space = DecaySpace(env.decay_matrix(pts))
+    return _paired_linkset(n_links, space)
+
+
+@register_scenario("asymmetric_measured")
+def asymmetric_measured(
+    n_links: int, seed: int = 0, alpha: float = 3.0, sigma_db: float = 1.0
+) -> LinkSet:
+    """Geometric decay with per-ordered-pair log-normal measurement noise.
+
+    Each direction of each pair gets an independent perturbation, so
+    ``f(p, q) != f(q, p)`` in general — the decay space is a genuine
+    premetric, as with per-direction channel soundings.
+    """
+    rng = np.random.default_rng(seed)
+    extent = 4.0 * np.sqrt(max(n_links, 1))
+    senders = rng.uniform(0, extent, size=(n_links, 2))
+    receivers = _receivers_near(senders, rng)
+    pts = np.concatenate([senders, receivers])
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=-1))
+    base = dist**alpha
+    noise_db = rng.normal(0.0, sigma_db, size=base.shape)
+    f = base * 10.0 ** (noise_db / 10.0)
+    np.fill_diagonal(f, 0.0)
+    space = DecaySpace(f)
+    return _paired_linkset(n_links, space)
+
+
+@register_scenario("rayleigh_fading")
+def rayleigh_fading(
+    n_links: int,
+    seed: int = 0,
+    alpha: float = 3.0,
+    fade_floor: float = 0.05,
+) -> LinkSet:
+    """A Rayleigh fade snapshot over geometric decay.
+
+    Channel gains scale by i.i.d. exponential(1) fades per ordered pair
+    (decays divide by them); fades are floored at ``fade_floor`` so deeply
+    faded pairs stay finite, mirroring a receiver noise floor.
+    """
+    rng = np.random.default_rng(seed)
+    extent = 4.0 * np.sqrt(max(n_links, 1))
+    senders = rng.uniform(0, extent, size=(n_links, 2))
+    receivers = _receivers_near(senders, rng)
+    pts = np.concatenate([senders, receivers])
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=-1))
+    fades = np.maximum(rng.exponential(1.0, size=dist.shape), fade_floor)
+    f = dist**alpha / fades
+    np.fill_diagonal(f, 0.0)
+    space = DecaySpace(f)
+    return _paired_linkset(n_links, space)

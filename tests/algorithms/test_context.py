@@ -1,0 +1,187 @@
+"""Tests for the shared SchedulingContext (matrices computed once).
+
+The load-bearing property is *exact* equivalence: every context-based
+algorithm must produce byte-identical output to the historical
+implementation that rebuilt ``LinkSet`` subsets and their matrices from
+scratch — subsetting a precomputed matrix and recomputing the matrix of a
+subset are the same floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.capacity_general import capacity_general_metric
+from repro.algorithms.context import SchedulingContext
+from repro.algorithms.scheduling import (
+    schedule_first_fit,
+    schedule_repeated_capacity,
+)
+from repro.core.affectance import affectance_matrix
+from repro.core.feasibility import is_feasible
+from repro.core.power import uniform_power
+from repro.core.separation import link_distance_matrix
+from repro.errors import LinkError
+from tests.conftest import make_planar_links
+
+
+def legacy_repeated_capacity(links, algo, noise=0.0, beta=1.0):
+    """The pre-refactor scheduling loop: rebuild a LinkSet every round."""
+    remaining = list(range(links.m))
+    slots = []
+    while remaining:
+        sub = links.subset(remaining)
+        result = algo(sub, noise=noise, beta=beta)
+        chosen = [remaining[i] for i in result.selected]
+        if not chosen:
+            chosen = [min(remaining, key=lambda v: (links.length(v), v))]
+        slots.append(tuple(sorted(chosen)))
+        removed = set(chosen)
+        remaining = [v for v in remaining if v not in removed]
+    return tuple(slots)
+
+
+class TestMatrices:
+    def test_matrices_match_direct_computation(self):
+        links = make_planar_links(10, alpha=3.0, seed=0)
+        ctx = SchedulingContext(links)
+        p = uniform_power(links)
+        assert np.array_equal(
+            ctx.raw_affectance, affectance_matrix(links, p, clip=False)
+        )
+        assert np.array_equal(
+            ctx.affectance, affectance_matrix(links, p, clip=True)
+        )
+        assert np.array_equal(
+            ctx.link_distances, link_distance_matrix(links, ctx.zeta_capacity)
+        )
+        assert np.array_equal(ctx.order, links.order_by_length())
+
+    def test_lazy_zeta_not_resolved_by_first_fit(self):
+        links = make_planar_links(8, alpha=3.0, seed=1)
+        ctx = SchedulingContext(links)
+        ctx.first_fit()
+        # First-fit needs no metricity; the space's cache must stay cold.
+        assert "zeta" not in ctx._cache
+
+    def test_context_feasibility_matches_core(self):
+        links = make_planar_links(12, alpha=3.0, seed=2)
+        ctx = SchedulingContext(links)
+        powers = uniform_power(links)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            size = int(rng.integers(1, 12))
+            subset = sorted(rng.choice(12, size=size, replace=False).tolist())
+            assert ctx.is_feasible(subset) == is_feasible(links, subset, powers)
+
+
+class TestCapacityEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_full_set_matches_wrapper(self, seed):
+        links = make_planar_links(15, alpha=3.0, seed=seed)
+        ctx = SchedulingContext(links)
+        selected, candidate = ctx.capacity_bounded_growth()
+        result = capacity_bounded_growth(links)
+        assert selected == result.selected
+        assert candidate == result.candidate
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_subset_matches_rebuilt_linkset(self, seed):
+        links = make_planar_links(16, alpha=3.0, seed=seed)
+        ctx = SchedulingContext(links)
+        rng = np.random.default_rng(seed)
+        active = sorted(rng.choice(16, size=9, replace=False).tolist())
+        selected, candidate = ctx.capacity_bounded_growth(active=active)
+        sub_result = capacity_bounded_growth(links.subset(active))
+        assert selected == tuple(active[i] for i in sub_result.selected)
+        assert candidate == tuple(active[i] for i in sub_result.candidate)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_general_greedy_subset_matches(self, seed):
+        links = make_planar_links(14, alpha=3.0, seed=seed)
+        ctx = SchedulingContext(links)
+        rng = np.random.default_rng(seed + 7)
+        active = sorted(rng.choice(14, size=8, replace=False).tolist())
+        selected, candidate = ctx.capacity_general(active=active)
+        sub_result = capacity_general_metric(links.subset(active))
+        assert selected == tuple(active[i] for i in sub_result.selected)
+        assert candidate == tuple(active[i] for i in sub_result.candidate)
+
+    def test_unknown_admission_kernel_rejected(self):
+        links = make_planar_links(4, alpha=3.0, seed=0)
+        with pytest.raises(LinkError, match="admission"):
+            SchedulingContext(links).repeated_capacity(admission="nope")
+
+
+class TestSchedulingEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_repeated_capacity_slots_byte_identical(self, seed):
+        links = make_planar_links(18, alpha=3.0, seed=seed)
+        fast = schedule_repeated_capacity(links)
+        legacy = legacy_repeated_capacity(links, capacity_bounded_growth)
+        assert fast.slots == legacy
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_repeated_general_slots_byte_identical(self, seed):
+        links = make_planar_links(15, alpha=3.0, seed=seed)
+        fast = schedule_repeated_capacity(
+            links, capacity_algorithm=capacity_general_metric
+        )
+        legacy = legacy_repeated_capacity(links, capacity_general_metric)
+        assert fast.slots == legacy
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_first_fit_matches_context(self, seed):
+        links = make_planar_links(14, alpha=3.0, seed=seed)
+        ctx = SchedulingContext(links)
+        assert schedule_first_fit(links).slots == ctx.first_fit()
+
+    def test_shared_context_across_calls(self):
+        links = make_planar_links(12, alpha=3.0, seed=9)
+        ctx = SchedulingContext(links)
+        by_ctx = schedule_repeated_capacity(links, context=ctx)
+        fresh = schedule_repeated_capacity(links)
+        assert by_ctx.slots == fresh.slots
+        assert schedule_first_fit(links, context=ctx).slots == (
+            schedule_first_fit(links).slots
+        )
+
+    def test_mismatched_context_rejected(self):
+        links = make_planar_links(6, alpha=3.0, seed=3)
+        other = make_planar_links(6, alpha=3.0, seed=4)
+        ctx = SchedulingContext(other)
+        with pytest.raises(LinkError, match="different links"):
+            schedule_repeated_capacity(links, context=ctx)
+        ctx_noise = SchedulingContext(links, noise=0.1)
+        with pytest.raises(LinkError, match="different links"):
+            schedule_first_fit(links, context=ctx_noise)
+
+    def test_capacity_validates_context(self):
+        links = make_planar_links(6, alpha=3.0, seed=3)
+        other = make_planar_links(6, alpha=3.0, seed=4)
+        ctx = SchedulingContext(links)
+        assert capacity_bounded_growth(links, context=ctx).selected == (
+            capacity_bounded_growth(links).selected
+        )
+        with pytest.raises(LinkError, match="different links"):
+            capacity_bounded_growth(other, context=ctx)
+        with pytest.raises(LinkError, match="different links"):
+            capacity_bounded_growth(links, noise=0.5, context=ctx)
+        with pytest.raises(LinkError, match="power"):
+            capacity_bounded_growth(links, power=2.0, context=ctx)
+        with pytest.raises(LinkError, match="zeta"):
+            capacity_bounded_growth(links, zeta=8.0, context=ctx)
+
+
+@given(
+    st.integers(min_value=2, max_value=14),
+    st.integers(min_value=0, max_value=30),
+)
+def test_context_scheduling_always_matches_legacy(n_links, seed):
+    links = make_planar_links(n_links, alpha=3.0, seed=seed)
+    fast = schedule_repeated_capacity(links)
+    assert fast.slots == legacy_repeated_capacity(links, capacity_bounded_growth)

@@ -51,6 +51,25 @@ class TestFirstFit:
         links = make_planar_links(5, alpha=3.0, seed=3, extent=500.0)
         assert schedule_first_fit(links).length == 1
 
+    def test_order_with_duplicate_rejected(self):
+        # A repeated index used to double-schedule the link, yielding a
+        # "schedule" that is not a partition (slots ((0, 0, 1, 2),)).
+        links = make_planar_links(4, alpha=3.0, seed=4)
+        with pytest.raises(LinkError, match="permutation"):
+            schedule_first_fit(links, order=[0, 0, 1, 2])
+
+    def test_order_with_missing_link_rejected(self):
+        links = make_planar_links(4, alpha=3.0, seed=4)
+        with pytest.raises(LinkError, match="permutation"):
+            schedule_first_fit(links, order=[0, 1, 2])
+
+    def test_order_out_of_range_rejected(self):
+        links = make_planar_links(4, alpha=3.0, seed=4)
+        with pytest.raises(LinkError, match="permutation"):
+            schedule_first_fit(links, order=[0, 1, 2, 4])
+        with pytest.raises(LinkError, match="permutation"):
+            schedule_first_fit(links, order=[-1, 0, 1, 2])
+
 
 class TestRepeatedCapacity:
     @pytest.mark.parametrize("seed", range(4))

@@ -98,6 +98,17 @@ class TestLinkSet:
         with pytest.raises(LinkError, match="empty"):
             links.subset([])
 
+    def test_subset_rejects_negative_indices(self, space):
+        links = LinkSet(space, [(0, 1), (2, 3), (1, 2)])
+        # A negative index must not silently wrap to the last link.
+        with pytest.raises(LinkError, match="0..2"):
+            links.subset([-1, 0])
+
+    def test_subset_rejects_out_of_range(self, space):
+        links = LinkSet(space, [(0, 1), (2, 3)])
+        with pytest.raises(LinkError, match="0..1"):
+            links.subset([0, 2])
+
     def test_quasi_lengths(self, space):
         links = LinkSet(space, [(0, 1), (2, 3)])
         q = links.quasi_lengths(zeta=2.0)

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.core.decay import DecaySpace
 from repro.core.metricity import (
     metricity,
+    metricity_bisection,
     metricity_witness,
     phi,
     satisfies_metricity,
@@ -193,3 +194,50 @@ def test_scaling_invariance(seed):
     z2 = metricity(f**2.0)  # f^2 doubles every exponent requirement
     if z1 > 1e-6:
         assert z2 == pytest.approx(2.0 * z1, rel=5e-2, abs=1e-3)
+
+
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.floats(min_value=1.0, max_value=6.0),
+)
+def test_property_geometric_metricity_equals_alpha(seed, alpha):
+    """Sec 2.2: zeta(d^alpha) = alpha for a metric d with a tight triangle.
+
+    Random planar points give a genuine metric; the anchored colinear
+    triple makes the worst triangle tight, so the supremum is exactly
+    alpha regardless of how the random points fall.
+    """
+    gen = np.random.default_rng(seed)
+    pts = gen.uniform(0, 5, size=(8, 2))
+    anchors = np.array([[6.0, 6.0], [7.25, 6.0], [8.5, 6.0]])
+    pts = np.concatenate([pts, anchors])
+    diff = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt((diff**2).sum(axis=-1))
+    space = DecaySpace.from_distances(d, alpha)
+    assert metricity(space) == pytest.approx(alpha, abs=5e-3)
+
+
+@given(
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=0, max_value=150),
+)
+def test_property_vectorized_agrees_with_bisection(n, seed):
+    """The root-solving kernel matches the predicate bisection everywhere."""
+    f = random_decay_matrix(n, seed=seed, low=0.2, high=40.0, symmetric=False)
+    assert metricity(f) == pytest.approx(metricity_bisection(f), abs=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=60))
+def test_property_vectorized_agrees_with_predicate(seed):
+    """The returned value satisfies the predicate; slightly less does not."""
+    f = random_decay_matrix(7, seed=seed, low=0.3, high=25.0, symmetric=False)
+    z = metricity(f)
+    if z > 0:
+        assert satisfies_metricity(f, z)
+        assert not satisfies_metricity(f, z * (1.0 - 1e-4))
+
+
+def test_extreme_dynamic_range_uses_log_fallback():
+    """Spans beyond float pow range still agree with the bisection."""
+    f = random_decay_matrix(8, seed=3, low=1e-8, high=1e12, symmetric=False)
+    assert metricity(f) == pytest.approx(metricity_bisection(f), abs=1e-6)

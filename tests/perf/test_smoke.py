@@ -1,0 +1,52 @@
+"""Performance smoke tests: the vectorized kernels must stay fast.
+
+These guard the headline speedups of the metricity/scheduling refactor
+(seed implementation: ~4 s each at these sizes).  Budgets are generous —
+several times the observed times on a laptop-class core — so CI noise does
+not flake them, while a regression to the pre-vectorized O(n^3)-per-pass
+behaviour fails loudly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.scheduling import schedule_first_fit, schedule_repeated_capacity
+from repro.core.decay import DecaySpace
+from repro.core.metricity import metricity
+from tests.conftest import make_planar_links
+
+#: Wall-clock budgets (seconds).  Seed implementation: ~4 s each.
+METRICITY_BUDGET = 2.0
+SCHEDULE_BUDGET = 2.0
+
+
+def test_metricity_n300_under_budget():
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 20, size=(300, 2))
+    space = DecaySpace.from_points(pts, 3.0)
+    start = time.perf_counter()
+    zeta = metricity(space)
+    elapsed = time.perf_counter() - start
+    assert zeta == 3.0 or abs(zeta - 3.0) < 5e-3
+    assert elapsed < METRICITY_BUDGET, f"metricity n=300 took {elapsed:.2f}s"
+
+
+def test_schedule_repeated_capacity_m150_under_budget():
+    links = make_planar_links(150, alpha=3.0, seed=7, extent=40.0)
+    start = time.perf_counter()
+    schedule = schedule_repeated_capacity(links)
+    elapsed = time.perf_counter() - start
+    assert schedule.all_links() == tuple(range(150))
+    assert elapsed < SCHEDULE_BUDGET, f"repeated capacity m=150 took {elapsed:.2f}s"
+
+
+def test_first_fit_m150_stays_fast():
+    links = make_planar_links(150, alpha=3.0, seed=7, extent=40.0)
+    start = time.perf_counter()
+    schedule = schedule_first_fit(links)
+    elapsed = time.perf_counter() - start
+    assert schedule.all_links() == tuple(range(150))
+    assert elapsed < 1.0, f"first fit m=150 took {elapsed:.2f}s"

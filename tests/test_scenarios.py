@@ -1,0 +1,132 @@
+"""Tests for the scenario registry: every algorithm across every scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.capacity_general import (
+    capacity_general_metric,
+    capacity_strongest_first,
+)
+from repro.algorithms.context import SchedulingContext
+from repro.algorithms.scheduling import (
+    schedule_first_fit,
+    schedule_repeated_capacity,
+)
+from repro.core.feasibility import is_feasible
+from repro.core.links import LinkSet
+from repro.core.power import uniform_power
+from repro.errors import DecaySpaceError
+from repro.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+EXPECTED = {
+    "planar_uniform",
+    "clustered",
+    "corridor",
+    "asymmetric_measured",
+    "rayleigh_fading",
+}
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert EXPECTED <= set(scenario_names())
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(DecaySpaceError, match="unknown scenario"):
+            build_scenario("definitely_not_registered")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DecaySpaceError, match="already registered"):
+            register_scenario("planar_uniform")(SCENARIOS["planar_uniform"])
+
+    def test_register_and_build_custom(self):
+        name = "_test_only_scenario"
+        try:
+            @register_scenario(name)
+            def _custom(n_links, seed=0):
+                return build_scenario("planar_uniform", n_links, seed)
+
+            links = build_scenario(name, n_links=4, seed=1)
+            assert isinstance(links, LinkSet) and links.m == 4
+        finally:
+            SCENARIOS.pop(name, None)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+class TestEachScenario:
+    def test_builds_valid_linkset(self, name):
+        links = build_scenario(name, n_links=12, seed=5)
+        assert isinstance(links, LinkSet)
+        assert links.m == 12
+        assert np.all(links.lengths > 0)
+
+    def test_deterministic_in_seed(self, name):
+        a = build_scenario(name, n_links=10, seed=7)
+        b = build_scenario(name, n_links=10, seed=7)
+        c = build_scenario(name, n_links=10, seed=8)
+        assert np.array_equal(a.space.f, b.space.f)
+        assert not np.array_equal(a.space.f, c.space.f)
+
+    def test_capacity_algorithms_feasible(self, name):
+        links = build_scenario(name, n_links=14, seed=2)
+        powers = uniform_power(links)
+        for algo in (
+            capacity_bounded_growth,
+            capacity_general_metric,
+            capacity_strongest_first,
+        ):
+            result = algo(links)
+            assert is_feasible(links, list(result.selected), powers), algo
+
+    def test_scheduling_partitions_all_links(self, name):
+        links = build_scenario(name, n_links=14, seed=2)
+        powers = uniform_power(links)
+        for schedule in (
+            schedule_first_fit(links),
+            schedule_repeated_capacity(links),
+        ):
+            assert schedule.all_links() == tuple(range(links.m))
+            for slot in schedule.slots:
+                assert is_feasible(links, list(slot), powers)
+
+
+class TestScenarioShapes:
+    def test_asymmetric_scenario_is_asymmetric(self):
+        links = build_scenario("asymmetric_measured", n_links=10, seed=1)
+        assert not links.space.is_symmetric()
+
+    def test_rayleigh_scenario_is_asymmetric(self):
+        links = build_scenario("rayleigh_fading", n_links=10, seed=1)
+        assert not links.space.is_symmetric()
+
+    def test_geometric_scenarios_have_zeta_alpha(self):
+        for name in ("planar_uniform", "clustered"):
+            links = build_scenario(name, n_links=15, seed=4, alpha=3.0)
+            assert links.space.metricity() <= 3.0 + 5e-3
+
+    def test_corridor_walls_raise_metricity(self):
+        walls = build_scenario("corridor", n_links=15, seed=4, alpha=3.0)
+        free = build_scenario("planar_uniform", n_links=15, seed=4, alpha=3.0)
+        assert walls.space.metricity() > free.space.metricity()
+
+    def test_iter_scenarios_covers_registry(self):
+        seen = [name for name, links in iter_scenarios(n_links=5, seed=0)]
+        assert set(seen) == set(scenario_names())
+
+
+def test_scenarios_work_with_shared_context():
+    for name in sorted(EXPECTED):
+        links = build_scenario(name, n_links=10, seed=3)
+        ctx = SchedulingContext(links)
+        slots = ctx.repeated_capacity()
+        assert tuple(sorted(v for s in slots for v in s)) == tuple(range(10))
+        assert all(ctx.is_feasible(s) for s in slots)
