@@ -1,7 +1,10 @@
 """Benchmarks and reproduction for E9: capacity algorithms.
 
 Kernels: Algorithm 1 and the general greedy at m = 120 links, exact OPT at
-m = 18.  Experiment targets regenerate the alpha sweep (E9a) and the
+m = 18.  The ``scale`` benches (selected by ``-k scale``; CI uploads their
+json as the ``BENCH_scale`` artifact) time the incremental repeated
+capacity and first-fit at m = 500 on the ``dense_urban`` scenario.
+Experiment targets regenerate the alpha sweep (E9a) and the
 realistic-environment comparison (E9b).
 """
 
@@ -11,6 +14,8 @@ import pytest
 
 from benchmarks.conftest import once, planar_link_instance
 from repro.algorithms.capacity import capacity_bounded_growth
+from repro.algorithms.context import SchedulingContext
+from repro.scenarios import build_scenario
 from repro.algorithms.capacity_general import capacity_general_metric
 from repro.algorithms.capacity_opt import capacity_optimum
 from repro.algorithms.scheduling import (
@@ -68,6 +73,42 @@ def test_kernel_schedule_first_fit_m150(benchmark):
     links = planar_link_instance(150, alpha=3.0, seed=7)
     schedule = once(benchmark, schedule_first_fit, links)
     assert schedule.all_links() == tuple(range(150))
+    benchmark.extra_info["slots"] = schedule.length
+
+
+@pytest.fixture(scope="module")
+def urban_m500():
+    """The m = 500 dense_urban instance, context pre-warmed so the scale
+    benches time the scheduling kernels rather than zeta resolution (the
+    metricity scan has its own scale bench)."""
+    links = build_scenario("dense_urban", n_links=500, seed=2)
+    ctx = SchedulingContext(links)
+    ctx.affectance
+    ctx.link_distances
+    return links, ctx
+
+
+def test_kernel_schedule_repeated_m500_scale(benchmark, urban_m500):
+    """Incremental repeated capacity: 500 peel rounds through the ledger."""
+    links, ctx = urban_m500
+    schedule = once(benchmark, schedule_repeated_capacity, links, context=ctx)
+    assert schedule.all_links() == tuple(range(500))
+    benchmark.extra_info["slots"] = schedule.length
+
+
+def test_kernel_schedule_general_m500_scale(benchmark, urban_m500):
+    """The general-metric greedy admission at m = 500."""
+    _, ctx = urban_m500
+    slots = once(benchmark, ctx.repeated_capacity, admission="general")
+    assert sorted(v for s in slots for v in s) == list(range(500))
+    benchmark.extra_info["slots"] = len(slots)
+
+
+def test_kernel_first_fit_m500_scale(benchmark, urban_m500):
+    """Ledger-based first fit at m = 500."""
+    links, ctx = urban_m500
+    schedule = once(benchmark, schedule_first_fit, links, context=ctx)
+    assert schedule.all_links() == tuple(range(500))
     benchmark.extra_info["slots"] = schedule.length
 
 

@@ -2,7 +2,10 @@
 
 Kernels: the vectorized triple predicate, the root-solving metricity
 kernel at n = 60 and n = 300 (the headline speedup of the vectorized
-rewrite — the seed bisection took ~4.4 s at n = 300), plus varphi.
+rewrite — the seed bisection took ~4.4 s at n = 300), plus varphi.  The
+``scale`` benches (selected by ``-k scale``; CI uploads their json as the
+``BENCH_scale`` artifact) time the tiered float32-screen scan at n = 2000
+on both a geometric space and the ``dense_urban`` registry scenario.
 Experiment targets regenerate the E1 and E10 tables.
 """
 
@@ -19,6 +22,7 @@ from repro.core.metricity import (
     satisfies_metricity,
     varphi,
 )
+from repro.scenarios import build_scenario
 from repro.experiments.exp_metricity import (
     environment_metricity_table,
     geometric_metricity_table,
@@ -61,6 +65,25 @@ def test_kernel_metricity_n300(benchmark, n300_space):
     z = benchmark(metricity, n300_space)
     assert z == pytest.approx(3.0, abs=5e-3)
     benchmark.extra_info["seed baseline (s)"] = 4.4
+
+
+def test_kernel_metricity_n2000_scale(benchmark):
+    """The scaled tier: tiered float32 screen at n = 2000 (one pass)."""
+    rng = np.random.default_rng(2)
+    pts = rng.uniform(0, 40, size=(2000, 2))
+    space = DecaySpace.from_points(pts, 3.0)
+    z = once(benchmark, metricity, space)
+    assert z == pytest.approx(3.0, abs=5e-3)
+    benchmark.extra_info["nodes"] = 2000
+
+
+def test_kernel_metricity_dense_urban_n2000_scale(benchmark):
+    """n = 2000 nodes of the dense_urban scenario (NLOS + shadowing)."""
+    links = build_scenario("dense_urban", n_links=1000, seed=1)
+    z = once(benchmark, metricity, links.space)
+    assert z > 3.2  # NLOS corners push zeta above alpha
+    benchmark.extra_info["nodes"] = links.space.n
+    benchmark.extra_info["zeta"] = round(z, 3)
 
 
 def test_kernel_metricity_bisection_reference_n60(benchmark, big_space):

@@ -21,6 +21,7 @@ import numpy as np
 from repro.algorithms.context import SchedulingContext, check_context
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
+from repro.errors import LinkError
 
 __all__ = ["CapacityResult", "capacity_bounded_growth"]
 
@@ -99,8 +100,6 @@ def capacity_bounded_growth(
     else:
         check_context(ctx, links, noise, beta, uniform_power(links, power))
         if zeta is not None and ctx.zeta != float(zeta):
-            from repro.errors import LinkError
-
             raise LinkError(
                 f"supplied SchedulingContext resolved zeta={ctx.zeta}, "
                 f"which conflicts with the explicit zeta={zeta}"

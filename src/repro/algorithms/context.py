@@ -44,6 +44,63 @@ from repro.errors import LinkError
 
 __all__ = ["Schedule", "SchedulingContext"]
 
+#: Safety margin subtracted from admission thresholds before trusting the
+#: ledger's subtractively-maintained sums: the drift after peeling every
+#: slot is bounded by a few ulp of the running sums (entries are clipped to
+#: [0, 1], so sums are at most m), far below this guard.  A link whose
+#: remaining-set sums clear the guarded threshold provably also clears the
+#: exact per-round check, so skipping that check cannot change the output.
+_LEDGER_GUARD_PER_LINK = 1e-9
+
+
+class _AffectanceLedger:
+    """Per-link in/out affectance sums over a maintained member set.
+
+    The delta structure shared by the scheduling kernels:
+    ``in_sum[v] = a_M(v)`` (column sums: what members do to ``v``) and
+    ``out_sum[v] = a_v(M)`` (row sums: what ``v`` does to members) over the
+    member set ``M``, for *every* link ``v``.  Members join one at a time
+    (``add`` — first-fit slots grow this way, exactly mirroring the
+    historical per-slot accumulation) or leave a peeled slot at a time
+    (``remove_slot`` — repeated capacity shrinks the remaining set this
+    way, one vectorized subtraction per round instead of re-slicing the
+    full matrix).  All state is local to the algorithm invocation; the
+    context's caches are never touched.
+    """
+
+    __slots__ = ("a", "mask", "in_sum", "out_sum", "count")
+
+    def __init__(self, a: np.ndarray, *, full: bool, track_out: bool = True) -> None:
+        m = a.shape[0]
+        self.a = a
+        if full:
+            self.mask = np.ones(m, dtype=bool)
+            self.in_sum = a.sum(axis=0)
+            self.out_sum = a.sum(axis=1) if track_out else None
+            self.count = m
+        else:
+            self.mask = np.zeros(m, dtype=bool)
+            self.in_sum = np.zeros(m)
+            self.out_sum = np.zeros(m) if track_out else None
+            self.count = 0
+
+    def add(self, v: int) -> None:
+        """Admit link ``v`` (identical accumulation order to the PR-1 loops)."""
+        self.mask[v] = True
+        self.in_sum += self.a[v]
+        if self.out_sum is not None:
+            self.out_sum += self.a[:, v]
+        self.count += 1
+
+    def remove_slot(self, members: Sequence[int]) -> None:
+        """Peel a whole slot from the member set by subtraction."""
+        idx = np.asarray(members, dtype=int)
+        self.mask[idx] = False
+        self.in_sum -= self.a[idx].sum(axis=0)
+        if self.out_sum is not None:
+            self.out_sum -= self.a[:, idx].sum(axis=1)
+        self.count -= idx.size
+
 
 @dataclass(frozen=True)
 class Schedule:
@@ -258,6 +315,60 @@ class SchedulingContext:
     # ------------------------------------------------------------------
     # Capacity kernels (global indices in, global indices out)
     # ------------------------------------------------------------------
+    def _greedy_admission(
+        self,
+        active_order: np.ndarray,
+        threshold: float,
+        *,
+        separation: bool,
+        auto: np.ndarray | None = None,
+    ) -> list[int]:
+        """The shared sequential admission scan; returns the candidate ``X``.
+
+        Links are visited in ``active_order``; a link joins ``X`` when it is
+        (zeta/2)-separated from ``X`` (only with ``separation=True``) and
+        its combined in+out affectance w.r.t. ``X`` is at most
+        ``threshold``.  The separation test is O(1) per candidate: a
+        running vector of each link's minimum quasi-distance to ``X`` is
+        lowered on every admission (``min`` of a column), which is exactly
+        equivalent to the historical ``all(dist[v, X] >= ...)`` row scan.
+
+        ``auto`` (optional) marks links whose in+out affectance over the
+        *whole remaining set* clears the guarded threshold — a superset
+        bound of the check against ``X``, so such links pass the affectance
+        test unconditionally.  When every active link is auto-admissible
+        the per-admission affectance accumulation is skipped entirely; with
+        no separation requirement the scan degenerates to the order itself.
+        """
+        a = self.affectance
+        if separation:
+            dist = self.link_distances
+            # eta * qlen[v], precomputed: same elementwise product the
+            # historical loop evaluated one scalar at a time.
+            sep_target = (self.zeta_capacity / 2.0) * np.diagonal(dist)
+            min_sep = np.full(self.m, np.inf)
+        all_auto = auto is not None and bool(np.all(auto[active_order]))
+        if all_auto and not separation:
+            return [int(v) for v in active_order]
+        x: list[int] = []
+        if not all_auto:
+            in_aff = np.zeros(self.m)  # a_X(v) for every link v
+            out_aff = np.zeros(self.m)  # a_v(X) for every link v
+        for v in active_order:
+            v = int(v)
+            if separation and x and min_sep[v] < sep_target[v]:
+                continue
+            if not all_auto and not (auto is not None and auto[v]):
+                if out_aff[v] + in_aff[v] > threshold:
+                    continue
+            x.append(v)
+            if not all_auto:
+                in_aff += a[v]  # l_v now affects every other link
+                out_aff += a[:, v]  # each link's out-affectance onto X grows
+            if separation:
+                np.minimum(min_sep, dist[:, v], out=min_sep)
+        return x
+
     def capacity_bounded_growth(
         self, active: Iterable[int] | None = None
     ) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -266,25 +377,10 @@ class SchedulingContext:
         Returns ``(selected, candidate)`` as tuples of global link indices:
         the feasible output ``S`` and the internal candidate set ``X``.
         """
-        a = self.affectance
-        dist = self.link_distances
-        qlen = np.diagonal(dist)
-        eta = self.zeta_capacity / 2.0
-
-        x: list[int] = []
-        in_aff = np.zeros(self.m)  # a_X(v) for every link v
-        out_aff = np.zeros(self.m)  # a_v(X) for every link v
-        for v in self._active_order(active):
-            v = int(v)
-            if x:
-                separated = bool(np.all(dist[v, x] >= eta * qlen[v]))
-            else:
-                separated = True
-            if separated and out_aff[v] + in_aff[v] <= 0.5:
-                x.append(v)
-                in_aff += a[v]  # l_v now affects every other link
-                out_aff += a[:, v]  # every link's out-affectance onto X grows
-        return self._final_filter(a, x), tuple(x)
+        x = self._greedy_admission(
+            self._active_order(active), 0.5, separation=True
+        )
+        return self._final_filter(self.affectance, x), tuple(x)
 
     def capacity_general(
         self,
@@ -298,17 +394,10 @@ class SchedulingContext:
         responsibility — see
         :func:`repro.algorithms.capacity_general.capacity_general_metric`).
         """
-        a = self.affectance
-        x: list[int] = []
-        in_aff = np.zeros(self.m)
-        out_aff = np.zeros(self.m)
-        for v in self._active_order(active):
-            v = int(v)
-            if out_aff[v] + in_aff[v] <= admission_threshold:
-                x.append(v)
-                in_aff += a[v]
-                out_aff += a[:, v]
-        return self._final_filter(a, x), tuple(x)
+        x = self._greedy_admission(
+            self._active_order(active), admission_threshold, separation=False
+        )
+        return self._final_filter(self.affectance, x), tuple(x)
 
     @staticmethod
     def _final_filter(a: np.ndarray, x: list[int]) -> tuple[int, ...]:
@@ -332,7 +421,11 @@ class SchedulingContext:
         Links are processed shortest-first (or in the given ``order``,
         which must be a permutation of all link indices) and placed in the
         earliest slot that stays feasible with them added; the per-slot
-        membership check is a single vectorized comparison.
+        membership check is a single vectorized comparison.  Each slot's
+        running in-affectances live in an :class:`_AffectanceLedger` — the
+        same delta structure repeated capacity peels slots with — grown by
+        the identical per-admission accumulation as the historical loop, so
+        the slots are byte-identical to it.
         """
         a = self.raw_affectance
         if order is None:
@@ -340,20 +433,24 @@ class SchedulingContext:
         else:
             sequence = _validated_order(order, self.m)
         slots: list[list[int]] = []
-        in_aff: list[np.ndarray] = []  # per-slot a_slot(v) over all links
+        ledgers: list[_AffectanceLedger] = []  # per-slot a_slot(v), all v
         for v in sequence:
+            av = a[v]
             placed = False
             for t, slot in enumerate(slots):
-                if in_aff[t][v] > 1.0:
+                in_aff = ledgers[t].in_sum
+                if in_aff[v] > 1.0:
                     continue
-                if np.all(in_aff[t][slot] + a[v, slot] <= 1.0):
+                if np.all(in_aff[slot] + av[slot] <= 1.0):
                     slot.append(v)
-                    in_aff[t] += a[v]
+                    ledgers[t].add(v)
                     placed = True
                     break
             if not placed:
                 slots.append([v])
-                in_aff.append(a[v].copy())
+                ledger = _AffectanceLedger(a, full=False, track_out=False)
+                ledger.add(v)
+                ledgers.append(ledger)
         return tuple(tuple(sorted(s)) for s in slots)
 
     def repeated_capacity(
@@ -369,32 +466,53 @@ class SchedulingContext:
         round selects nothing from a non-empty remainder, the shortest
         remaining link is scheduled alone.  Raises :class:`LinkError` when
         ``max_slots`` rounds leave links unscheduled.
+
+        The admission loop is incremental across rounds: an
+        :class:`_AffectanceLedger` maintains every link's in/out affectance
+        sums over the remaining set, updated by one vectorized subtraction
+        when a slot is peeled (never re-slicing the full matrix), and the
+        remaining set itself is a boolean mask (no per-round list rebuild).
+        Links whose remaining-set sums clear the guarded threshold are
+        admissible without consulting the per-round accumulations — in late
+        rounds typically *all* of them, collapsing the round to a
+        separation-only scan (or, for the general kernel, to the order
+        itself).  The produced slots are byte-identical to running the
+        from-scratch kernel on each round's remainder, which the test suite
+        pins.  All loop state is local: a ``max_slots`` overflow raises
+        without mutating any cached context state.
         """
         if admission == "bounded_growth":
-            kernel = self.capacity_bounded_growth
+            separation = True
         elif admission == "general":
-            kernel = self.capacity_general
+            separation = False
         else:
             raise LinkError(
                 f"unknown admission kernel {admission!r}; "
                 "expected 'bounded_growth' or 'general'"
             )
-        lengths = self._links.lengths
-        remaining = list(range(self.m))
+        a = self.affectance
+        order = self.order
+        threshold = 0.5
+        guard = _LEDGER_GUARD_PER_LINK * self.m
+        ledger = _AffectanceLedger(a, full=True)
         slots: list[tuple[int, ...]] = []
         cap = max_slots if max_slots is not None else self.m
-        while remaining and len(slots) < cap:
-            selected, _ = kernel(active=remaining)
-            chosen = list(selected)
+        while ledger.count and len(slots) < cap:
+            active_order = order[ledger.mask[order]]
+            auto = ledger.in_sum + ledger.out_sum <= threshold - guard
+            x = self._greedy_admission(
+                active_order, threshold, separation=separation, auto=auto
+            )
+            chosen = list(self._final_filter(a, x))
             if not chosen:
-                shortest = min(remaining, key=lambda v: (lengths[v], v))
-                chosen = [shortest]
+                # order sorts by (length, index), so the first remaining
+                # link is exactly the historical min(remaining) fallback.
+                chosen = [int(active_order[0])]
             slots.append(tuple(sorted(chosen)))
-            removed = set(chosen)
-            remaining = [v for v in remaining if v not in removed]
-        if remaining:
+            ledger.remove_slot(chosen)
+        if ledger.count:
             raise LinkError(
-                f"schedule exceeded {cap} slots with {len(remaining)} links left"
+                f"schedule exceeded {cap} slots with {ledger.count} links left"
             )
         return tuple(slots)
 

@@ -71,10 +71,14 @@ def schedule_repeated_capacity(
         )
 
     algo = capacity_algorithm
-    remaining = list(range(links.m))
+    # Generic per-round-subset path: the remaining set is a boolean mask
+    # updated in place (the historical list comprehension re-filtered the
+    # whole list every round).
+    mask = np.ones(links.m, dtype=bool)
     slots: list[tuple[int, ...]] = []
     cap = max_slots if max_slots is not None else links.m
-    while remaining and len(slots) < cap:
+    while mask.any() and len(slots) < cap:
+        remaining = np.flatnonzero(mask).tolist()
         sub = links.subset(remaining)
         result = algo(sub, noise=noise, beta=beta)
         chosen = [remaining[i] for i in result.selected]
@@ -82,11 +86,11 @@ def schedule_repeated_capacity(
             shortest = min(remaining, key=lambda v: (links.length(v), v))
             chosen = [shortest]
         slots.append(tuple(sorted(chosen)))
-        removed = set(chosen)
-        remaining = [v for v in remaining if v not in removed]
-    if remaining:
+        mask[chosen] = False
+    left = int(mask.sum())
+    if left:
         raise LinkError(
-            f"schedule exceeded {cap} slots with {len(remaining)} links left"
+            f"schedule exceeded {cap} slots with {left} links left"
         )
     return Schedule(tuple(slots))
 

@@ -22,6 +22,20 @@ is one outer-add and one compare per block — and only the violators (none,
 once ``best`` is right) reach the vectorized Newton solve, which starts
 from the AM-GM feasible point ``zeta0 = -(a + b) / (2 ln 2)``.
 
+The incumbent scan is *tiered* so that it scales to thousands of nodes:
+middle nodes are processed in batched blocks (``B`` z-values per
+outer-add), each block is screened in float32 against a conservatively
+widened incumbent target, and only the flagged triples are confirmed —
+and solved — in float64.  The float32 screen can only over-flag (its
+margin absorbs the coarser rounding), never miss a violator, so the
+result is identical to the all-float64 scan.  Spaces whose dynamic range
+per unit of incumbent exceeds what float32 (resp. float64) powers can
+represent fall back to a float64 linear screen (resp. the log-domain
+``logaddexp`` screen); the tier is re-chosen whenever the incumbent
+improves.  Blocks are independent — any stale incumbent flags a superset
+of the triples the final incumbent would — so the scan optionally runs on
+a thread pool (numpy releases the GIL inside the block kernels).
+
 The historical predicate-bisection implementation is retained as
 :func:`metricity_bisection` for cross-checking; both agree to tolerance.
 
@@ -41,6 +55,9 @@ logarithm ``phi = lg(varphi)``.
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
@@ -63,6 +80,30 @@ __all__ = [
 _PREDICATE_SLACK = 1e-12
 
 _LN2 = float(np.log(2.0))
+
+#: Relative widening of the float32 screen target.  float32 rounding of the
+#: quasi-distances and their sum perturbs the compare by at most a few ulp
+#: (~4e-7 relative); a 1e-6 margin guarantees every float64 violator is
+#: flagged while keeping false positives to near-tie triples.
+_F32_SCREEN_MARGIN = 1e-6
+
+#: Largest ``span / best`` (log2 dynamic range per unit of incumbent) the
+#: float32 screen accepts: quasi-distances live in [2^(-span/best), 1] and
+#: float32 normals stop at 2^-126, so 80 leaves ample headroom before
+#: underflow erodes the screen's margin.
+_F32_SPAN_LIMIT = 80.0
+
+#: Beyond this ``span / best`` even float64 powers degrade; the screen then
+#: runs in the log domain via ``logaddexp`` (exact, slower).
+_LOG_SPAN_LIMIT = 1000.0
+
+#: Auto-sized middle-node blocks target this many screened entries
+#: (``block_size * n**2``) per outer-add: 2^23 is ~32 MB in float32, small
+#: enough that the sum buffer stays cache-resident on typical cores.
+_SCREEN_BLOCK_ELEMENTS = 1 << 23
+
+#: Below this node count the thread pool is pure overhead.
+_PARALLEL_MIN_NODES = 256
 
 
 def _as_matrix(space: DecaySpace | np.ndarray) -> np.ndarray:
@@ -190,14 +231,249 @@ def _solve_triple_zetas(
     return 1.0 / u
 
 
+def _log_noise_floor(logf: np.ndarray) -> float:
+    """Absolute noise floor of log-ratio differences ``logf[i,j] - logf[k,l]``.
+
+    Each entry of ``logf`` carries up to half an ulp of rounding, so a
+    difference of two entries of magnitude ``L`` is only resolved to a few
+    ``eps * L``.  A constraining log-ratio inside this floor is numerically
+    indistinguishable from a tie; its per-triple root is ill-conditioned
+    (sensitivity ``~ floor / |h'|`` can reach percent level on wide-range
+    spaces) while the bisection oracle's predicate slack treats the triple
+    as satisfied.  Dropping such triples keeps the two implementations
+    convergent to the same value.
+    """
+    finite = logf[np.isfinite(logf)]
+    lmax = float(np.abs(finite).max()) if finite.size else 0.0
+    return 4.0 * float(np.finfo(float).eps) * max(1.0, lmax)
+
+
+class _ScreenState:
+    """Incumbent and tier-dependent screen arrays for the middle-node scan.
+
+    The screen tests the *exact* predicate at the incumbent: a triple can
+    raise the maximum only if it violates the triangle inequality in the
+    quasi-distance ``g = (f / max f)^(1/best)``, i.e.
+    ``g[x, z] + g[z, y] < g[x, y]``.  The tier (``"f32"``, ``"f64"`` or
+    ``"log"``) is chosen from ``span / best`` — the representable dynamic
+    range shrinks as the incumbent grows — and re-chosen on every
+    improvement.  ``snap`` holds one immutable tuple
+    ``(best, mode, screen_q, target, quasi64)`` that workers read
+    atomically; a stale snapshot only widens the screen (a triple violating
+    at the final incumbent violates at every smaller one), so concurrent
+    improvements never lose a violator whose root exceeds the final
+    incumbent by more than the solver tolerance.  Repeated-node triples
+    need no
+    special casing: the zero (resp. ``-inf``) diagonal makes them
+    non-violating under every tier.
+    """
+
+    __slots__ = ("f", "logf", "fmax", "span", "log_noise", "snap", "_lock")
+
+    def __init__(self, f: np.ndarray, logf: np.ndarray, best: float) -> None:
+        self.f = f
+        self.logf = logf
+        self.fmax = float(f.max())
+        with np.errstate(divide="ignore"):
+            self.span = (
+                float(np.log2(self.fmax) - np.log2(f[f > 0.0].min()))
+                if self.fmax > 0
+                else 0.0
+            )
+        self.log_noise = _log_noise_floor(logf)
+        self._lock = threading.Lock()
+        self.snap = self._build(best)
+
+    @property
+    def best(self) -> float:
+        return self.snap[0]
+
+    def _build(
+        self, best: float
+    ) -> tuple[float, str, np.ndarray, np.ndarray, np.ndarray | None]:
+        ratio = np.inf if not np.isfinite(self.span) else self.span / best
+        if ratio > _LOG_SPAN_LIMIT:
+            quasi = self.logf / best
+            return best, "log", quasi, quasi, None
+        quasi64 = (self.f / self.fmax) ** (1.0 / best)
+        if ratio > _F32_SPAN_LIMIT:
+            return best, "f64", quasi64, quasi64, quasi64
+        screen = quasi64.astype(np.float32)
+        target = (quasi64 * (1.0 + _F32_SCREEN_MARGIN)).astype(np.float32)
+        return best, "f32", screen, target, quasi64
+
+    def improve(self, top: float) -> None:
+        with self._lock:
+            if top > self.snap[0]:
+                self.snap = self._build(top)
+
+
+class _BlockBuffers:
+    """Preallocated per-worker scratch for one batched middle-node block.
+
+    The flag buffer is a flat byte-bool array padded to a multiple of 8 so
+    it can be viewed as ``uint64`` words: flagged-coordinate extraction
+    scans 8 bools per compare instead of one (see :func:`_screen_block`).
+    The padding tail is allocated zero and never written.
+    """
+
+    __slots__ = ("n", "block", "f32", "f64", "_flat", "flags")
+
+    def __init__(self, n: int, block: int) -> None:
+        self.n = n
+        self.block = block
+        self.f32: np.ndarray | None = None
+        self.f64: np.ndarray | None = None
+        total = block * n * n
+        self._flat = np.zeros(-(-total // 8) * 8, dtype=bool)
+        self.flags = self._flat[:total].reshape(block, n, n)
+
+    def sums(self, k: int, mode: str) -> np.ndarray:
+        if mode == "f32":
+            if self.f32 is None:
+                self.f32 = np.empty((self.block, self.n, self.n), dtype=np.float32)
+            return self.f32[:k]
+        if self.f64 is None:
+            self.f64 = np.empty((self.block, self.n, self.n), dtype=np.float64)
+        return self.f64[:k]
+
+    def flagged_coordinates(
+        self, k: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """``(b, x, y)`` coordinates of set flags, via a word-level scan.
+
+        Only the first ``k * n * n`` flags are live; beyond them the buffer
+        is zero (the final partial block leaves the tail untouched, and the
+        padding is never written), so scanning the full word view is safe.
+        A ``uint64`` view finds the words holding any flag ~5x faster than
+        ``np.nonzero`` on the byte-bool buffer; only those words' bytes are
+        then expanded.
+        """
+        words = self._flat.view(np.uint64)
+        hits = np.flatnonzero(words)
+        if hits.size == 0:
+            return None
+        expanded = self._flat.reshape(-1, 8)[hits]
+        wi, bi = np.nonzero(expanded)
+        flat_idx = hits[wi] * 8 + bi
+        nn = self.n * self.n
+        bj, rem = np.divmod(flat_idx, nn)
+        xi, yi = np.divmod(rem, self.n)
+        return bj, xi, yi
+
+
+def _screen_block(
+    zs: np.ndarray,
+    snap: tuple[float, str, np.ndarray, np.ndarray, np.ndarray | None],
+    buffers: _BlockBuffers,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Flagged ``(z, x, y)`` triple coordinates of a batch of middle nodes.
+
+    One outer-add over the whole batch — ``cols[b, x] + rows[b, y]`` versus
+    the target matrix — then a word-level gather of the flagged coordinates
+    (see :meth:`_BlockBuffers.flagged_coordinates`).  In the float32 tier
+    the gathered triples are re-tested strictly in float64 (an O(flagged)
+    vectorized pass), which strips the margin-induced false positives —
+    near-tie density scales like the square root of the margin in
+    geometric spaces, so there can be thousands per block — before they
+    reach the Newton solve.
+    """
+    best, mode, screen_q, target, quasi64 = snap
+    k = len(zs)
+    cols = screen_q[:, zs].T[:, :, None]
+    rows = screen_q[zs, :][:, None, :]
+    sums = buffers.sums(k, mode)
+    if mode == "log":
+        np.logaddexp(cols, rows, out=sums)
+    else:
+        np.add(cols, rows, out=sums)
+    flags = buffers.flags[:k]
+    np.less(sums, target[None, :, :], out=flags)
+    if not flags.any():
+        return None
+    if k < buffers.block:
+        buffers.flags[k:] = False  # final partial block: clear stale flags
+    coords = buffers.flagged_coordinates(k)
+    if coords is None:
+        return None
+    bj, xi, yi = coords
+    z_arr = zs[bj]
+    if mode == "f32":
+        assert quasi64 is not None
+        exact = quasi64[xi, z_arr] + quasi64[z_arr, yi] < quasi64[xi, yi]
+        if not exact.any():
+            return None
+        z_arr, xi, yi = z_arr[exact], xi[exact], yi[exact]
+    return z_arr, xi, yi
+
+
+def _confirm_block(
+    flagged: tuple[np.ndarray, np.ndarray, np.ndarray],
+    state: _ScreenState,
+    tol: float,
+    max_iterations: int,
+) -> None:
+    """float64 confirmation: resolve flagged triples' roots, raise incumbent.
+
+    The log-ratios ``a = ln(f_xz/f_xy)``, ``b = ln(f_zy/f_xy)`` are exact
+    float64 regardless of the screening tier.  Triples with
+    ``max(a, b) >= -noise`` are dropped: a non-negative log-ratio never
+    constrains, and one inside the noise floor (the rounding error of the
+    log difference itself) has a root that is pure noise — the bisection
+    oracle's predicate slack ignores exactly these, so resolving them
+    would *diverge* from it, not refine it.
+
+    Every remaining triple is solved and only a larger root raises the
+    incumbent.  No incumbent-form predicate re-test happens here: the
+    screens flag (at least) every strict violator at their snapshot, so a
+    triple whose root exceeds the final incumbent by more than the solver
+    tolerance is flagged and solved no matter how the blocks were
+    partitioned or interleaved.  Partitioning can therefore shift the
+    result only within the Newton tolerance (which triples are flagged at
+    a stale-vs-fresh incumbent differs exactly for roots within ~tol of
+    it), never beyond.
+    """
+    logf = state.logf
+    z_arr, xi, yi = flagged
+    base = logf[xi, yi]
+    aa = logf[xi, z_arr] - base
+    bb = logf[z_arr, yi] - base
+    keep = np.maximum(aa, bb) < -state.log_noise
+    if not keep.any():
+        return
+    roots = _solve_triple_zetas(aa[keep], bb[keep], tol, max_iterations)
+    state.improve(float(roots.max()))
+
+
+def _resolve_block_size(n: int, block_size: int | None) -> int:
+    if block_size is not None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        return int(block_size)
+    return max(1, min(64, _SCREEN_BLOCK_ELEMENTS // (n * n)))
+
+
+def _resolve_workers(n: int, workers: int | None) -> int:
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return int(workers)
+    if n < _PARALLEL_MIN_NODES:
+        return 1
+    return min(4, os.cpu_count() or 1)
+
+
 def metricity(
     space: DecaySpace | np.ndarray,
     tol: float = 1e-9,
     max_iterations: int = 200,
+    *,
+    block_size: int | None = None,
+    workers: int | None = None,
 ) -> float:
     """The metricity ``zeta(D)`` of Definition 2.2, via per-triple roots.
 
-    A single blocked pass over middle nodes ``z`` screens every triple
+    A tiered blocked pass over middle nodes ``z`` screens every triple
     with the exact predicate at the running maximum — the triangle
     inequality in the induced quasi-distance (see module docstring) — and
     resolves the violating triples' log-ratios ``a = ln(f_xz/f_xy)``,
@@ -208,6 +484,16 @@ def metricity(
     :func:`metricity_bisection` brackets, but computed in one sweep
     instead of ~40.
 
+    Middle nodes are processed ``block_size`` at a time (auto-sized to a
+    ~64 MB screen buffer by default); when the dynamic range permits, the
+    screen runs in float32 with a conservative margin and only flagged
+    triples are confirmed in float64, which roughly halves the memory
+    traffic of the dominant pass.  ``workers`` threads scan blocks
+    concurrently (numpy releases the GIL in the block kernels); a stale
+    incumbent only over-flags, so block size and worker count cannot move
+    the result beyond the solver tolerance ``tol``.  Defaults: serial
+    below 256 nodes, else ``min(4, cpu_count)``.
+
     Spaces in which every triple holds for arbitrarily small exponents
     (e.g. uniform decays) have an infimum of 0; this function then returns
     ``0.0`` by convention.
@@ -217,65 +503,58 @@ def metricity(
     if n <= 2:
         return 0.0
     logf = _log_matrix(f)
+    # Bootstrap: scan middle nodes until one constrains, solving all of that
+    # block's constraining triples exactly from the log-ratios; earlier
+    # blocks had no constraining triples and are complete.  The noise floor
+    # mirrors the one applied during confirmation (see _log_noise_floor).
+    noise = _log_noise_floor(logf)
     best = 0.0
-    # The block scan tests the *exact* predicate at the incumbent: a triple
-    # can raise the maximum only if it violates the triangle inequality in
-    # the quasi-distance g = (f / max f)^(1/best), i.e.
-    # g[x, z] + g[z, y] < g[x, y] — one outer-add and one compare per
-    # middle node.  g is rebuilt only when the incumbent improves (rarely
-    # more than a handful of times).  When f's dynamic range is too wide
-    # for the power (span / best beyond float range), the same test runs in
-    # the log domain via logaddexp.  Repeated-node triples need no special
-    # casing: the zero (resp. -inf) diagonal makes them non-violating.
-    fmax = float(f.max())
-    with np.errstate(divide="ignore"):
-        span = float(np.log2(fmax) - np.log2(f[f > 0.0].min())) if fmax > 0 else 0.0
-    quasi: np.ndarray | None = None
-    use_log = False
-
-    def _rebuild() -> None:
-        nonlocal quasi, use_log
-        use_log = not np.isfinite(span) or span / best > 1000.0
-        quasi = logf / best if use_log else (f / fmax) ** (1.0 / best)
-
-    sums = np.empty_like(logf)
-    viol = np.empty(logf.shape, dtype=bool)
+    first_screened = n
     for z in range(n):
-        if best == 0.0:
-            # No incumbent yet: solve every constraining triple of this
-            # block from the log-ratios directly.
-            with np.errstate(invalid="ignore"):
-                d_a = logf[:, z][:, None] - logf
-                d_b = logf[z, :][None, :] - logf
-                nontrivial = np.maximum(d_a, d_b) < 0.0
-            if not nontrivial.any():
-                continue
-            roots = _solve_triple_zetas(
-                d_a[nontrivial], d_b[nontrivial], tol, max_iterations
-            )
-            best = float(roots.max())
-            _rebuild()
+        with np.errstate(invalid="ignore"):
+            d_a = logf[:, z][:, None] - logf
+            d_b = logf[z, :][None, :] - logf
+            nontrivial = np.maximum(d_a, d_b) < -noise
+        if not nontrivial.any():
             continue
-        if use_log:
-            np.logaddexp(quasi[:, z][:, None], quasi[z, :][None, :], out=sums)
-        else:
-            np.add(quasi[:, z][:, None], quasi[z, :][None, :], out=sums)
-        np.less(sums, quasi, out=viol)
-        if not viol.any():
-            continue
-        xi, yi = np.nonzero(viol)
-        base = logf[xi, yi]
-        # a = ln(f_xz / f_xy), b = ln(f_zy / f_xy) for the violators only.
-        aa = logf[xi, z] - base
-        bb = logf[z, yi] - base
-        keep = np.maximum(aa, bb) < 0.0
-        if not keep.any():
-            continue
-        roots = _solve_triple_zetas(aa[keep], bb[keep], tol, max_iterations)
-        top = float(roots.max())
-        if top > best:
-            best = top
-            _rebuild()
+        roots = _solve_triple_zetas(
+            d_a[nontrivial], d_b[nontrivial], tol, max_iterations
+        )
+        best = float(roots.max())
+        first_screened = z + 1
+        break
+    if best == 0.0:
+        return 0.0
+
+    state = _ScreenState(f, logf, best)
+    block = _resolve_block_size(n, block_size)
+    n_workers = _resolve_workers(n, workers)
+    blocks = [
+        np.arange(start, min(start + block, n))
+        for start in range(first_screened, n, block)
+    ]
+
+    if n_workers <= 1 or len(blocks) <= 1:
+        buffers = _BlockBuffers(n, block)
+        for zs in blocks:
+            flagged = _screen_block(zs, state.snap, buffers)
+            if flagged is not None:
+                _confirm_block(flagged, state, tol, max_iterations)
+    else:
+        local = threading.local()
+
+        def _scan(zs: np.ndarray) -> None:
+            buffers = getattr(local, "buffers", None)
+            if buffers is None:
+                buffers = local.buffers = _BlockBuffers(n, block)
+            flagged = _screen_block(zs, state.snap, buffers)
+            if flagged is not None:
+                _confirm_block(flagged, state, tol, max_iterations)
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            list(pool.map(_scan, blocks))
+
+    best = state.best
     return best if best > tol / 4.0 else 0.0
 
 

@@ -28,6 +28,12 @@ Built-in scenarios
     A Rayleigh fade snapshot: each ordered pair's gain is scaled by an
     independent exponential fade (Sec. 5 of the paper studies the expected
     behaviour; a snapshot is one draw of the resulting decay space).
+``dense_urban``
+    A Manhattan street grid at fixed per-block density: nodes sit in the
+    street canyons, same-corridor pairs are near-LOS while cross-block
+    pairs take an NLOS penalty plus heavier shadowing (cf. the stochastic
+    urban models of arXiv:1604.00688).  The named large-``n`` workload the
+    scaled metricity and scheduling kernels are benchmarked on.
 
 Registering a new scenario::
 
@@ -243,6 +249,65 @@ def rayleigh_fading(
     dist = np.sqrt((diff**2).sum(axis=-1))
     fades = np.maximum(rng.exponential(1.0, size=dist.shape), fade_floor)
     f = dist**alpha / fades
+    np.fill_diagonal(f, 0.0)
+    space = DecaySpace(f)
+    return _paired_linkset(n_links, space)
+
+
+@register_scenario("dense_urban")
+def dense_urban(
+    n_links: int,
+    seed: int = 0,
+    alpha: float = 3.2,
+    street_spacing: float = 30.0,
+    street_width: float = 6.0,
+    nlos_extra_db: float = 12.0,
+    sigma_los_db: float = 2.0,
+    sigma_nlos_db: float = 6.0,
+) -> LinkSet:
+    """A dense Manhattan-grid urban deployment (the large-``n`` workload).
+
+    Senders are placed in the street canyons of a square grid whose side
+    grows with ``sqrt(n_links)``, so per-block density stays fixed as the
+    instance scales.  Ordered pairs sharing a street corridor (aligned
+    within ``street_width`` in either axis) are near-LOS: geometric decay
+    with light log-normal shadowing.  All other pairs are NLOS around
+    building corners: ``nlos_extra_db`` of extra attenuation plus heavier,
+    per-direction shadowing — so the space is asymmetric and decay is not a
+    function of distance alone, pushing the metricity above ``alpha``.
+    Deterministic in ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    blocks = max(2, int(np.ceil(np.sqrt(n_links / 8.0))))
+    extent = blocks * street_spacing
+    # A point on a random street: one coordinate rides a street centerline
+    # (jittered within the canyon), the other is uniform along it.
+    along = rng.uniform(0.0, extent, size=n_links)
+    line = street_spacing * rng.integers(0, blocks + 1, size=n_links)
+    lateral = np.clip(
+        line + rng.uniform(-street_width / 2, street_width / 2, size=n_links),
+        0.0,
+        extent,
+    )
+    horizontal = rng.random(n_links) < 0.5
+    senders = np.where(
+        horizontal[:, None],
+        np.stack([along, lateral], axis=1),
+        np.stack([lateral, along], axis=1),
+    )
+    receivers = _receivers_near(senders, rng, min_len=0.5, max_len=1.5)
+    pts = np.concatenate([senders, receivers])
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=-1))
+    # Same-corridor (near-LOS) pairs: aligned within one street width in
+    # either axis.  Everything else turns at least one corner.
+    aligned = (
+        np.abs(diff[..., 0]) < street_width
+    ) | (np.abs(diff[..., 1]) < street_width)
+    loss_db = np.where(aligned, 0.0, nlos_extra_db)
+    sigma = np.where(aligned, sigma_los_db, sigma_nlos_db)
+    shadow_db = rng.normal(0.0, 1.0, size=dist.shape) * sigma
+    f = dist**alpha * 10.0 ** ((loss_db + shadow_db) / 10.0)
     np.fill_diagonal(f, 0.0)
     space = DecaySpace(f)
     return _paired_linkset(n_links, space)

@@ -116,6 +116,37 @@ class TestCapacityEquivalence:
         with pytest.raises(LinkError, match="admission"):
             SchedulingContext(links).repeated_capacity(admission="nope")
 
+    def test_max_slots_overflow_leaves_context_state_intact(self):
+        """A max_slots overflow must raise without corrupting the context.
+
+        The incremental loop keeps all round state (remaining mask,
+        affectance ledger) local to the call; an overflow mid-schedule must
+        not leave partial deltas behind in the cached matrices, and the
+        same context must still produce the full correct schedule
+        afterwards.
+        """
+        links = make_planar_links(24, alpha=3.0, seed=5, extent=6.0)
+        ctx = SchedulingContext(links)
+        baseline = ctx.repeated_capacity()
+        assert len(baseline) > 2  # dense instance: needs several slots
+        cached_keys = set(ctx._cache)
+        cached_arrays = {
+            k: v for k, v in ctx._cache.items() if isinstance(v, np.ndarray)
+        }
+        snapshots = {k: v.copy() for k, v in cached_arrays.items()}
+        with pytest.raises(LinkError, match="exceeded"):
+            ctx.repeated_capacity(max_slots=1)
+        assert set(ctx._cache) == cached_keys
+        for k, arr in cached_arrays.items():
+            assert ctx._cache[k] is arr  # same objects, not rebuilt
+            assert np.array_equal(arr, snapshots[k])  # and unmutated
+        assert ctx.repeated_capacity() == baseline
+        with pytest.raises(LinkError, match="exceeded"):
+            ctx.repeated_capacity(admission="general", max_slots=1)
+        assert ctx.repeated_capacity(admission="general") == (
+            SchedulingContext(links).repeated_capacity(admission="general")
+        )
+
 
 class TestSchedulingEquivalence:
     @pytest.mark.parametrize("seed", range(6))

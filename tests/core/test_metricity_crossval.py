@@ -1,0 +1,188 @@
+"""Cross-validation: the tiered metricity kernel against its slow oracle.
+
+The scaled kernel in :func:`repro.core.metricity.metricity` (float32
+screen -> float64 confirm, batched middle-node blocks, optional thread
+pool) is only trustworthy because every tier is pinned against
+:func:`repro.core.metricity.metricity_bisection`, the predicate-bisection
+reference.  This module sweeps the pinning across:
+
+* every registered scenario's decay space (seeded registry sweep);
+* random matrices across sizes and seeds (both screen-tier paths);
+* adversarial wide-dynamic-range matrices that force the float64 linear
+  screen and the log-domain (``logaddexp``) screen;
+* structured tie-heavy spaces (equally spaced colinear points) that
+  maximize float32-margin false positives in the screen -> confirm
+  handoff;
+* explicit ``block_size`` / ``workers`` settings (including forcing many
+  blocks through the real thread pool), which cannot move the result
+  beyond the solver tolerance.
+
+Tolerances: ordinary spaces agree to 1e-6.  On extreme-dynamic-range
+spaces both implementations carry an input-conditioned skew — the oracle's
+predicate slack shifts its bracket by ``slack / |h'|`` and the kernel
+drops constraining log-ratios inside the float64 noise floor — so those
+cases assert the documented looser tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecaySpace
+from repro.core.metricity import metricity, metricity_bisection
+from repro.scenarios import build_scenario, scenario_names
+from tests.conftest import random_decay_matrix
+
+#: Ordinary spaces: both implementations resolve the same maximum root.
+TOL = 1e-6
+#: Wide-dynamic-range spaces: see module docstring.
+TOL_EXTREME = 1e-3
+
+#: Small enough that the bisection oracle stays subsecond per case.
+SCENARIO_LINKS = 12
+
+
+class TestRegistrySweep:
+    """Every registry scenario's decay space, multiple seeds."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_scenario_space_matches_oracle(self, name, seed):
+        links = build_scenario(name, n_links=SCENARIO_LINKS, seed=seed)
+        f = links.space.f
+        assert metricity(f) == pytest.approx(
+            metricity_bisection(f), abs=TOL
+        ), f"scenario {name!r}, seed {seed}"
+
+
+class TestRandomSweep:
+    @pytest.mark.parametrize("n", [4, 6, 9, 13])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_asymmetric_random(self, n, seed):
+        f = random_decay_matrix(n, seed=seed, low=0.2, high=40.0, symmetric=False)
+        assert metricity(f) == pytest.approx(metricity_bisection(f), abs=TOL)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_symmetric_random(self, seed):
+        f = random_decay_matrix(10, seed=seed, low=0.5, high=20.0, symmetric=True)
+        assert metricity(f) == pytest.approx(metricity_bisection(f), abs=TOL)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wide_range_random(self, seed):
+        """Large but float64-representable dynamic range (f64 screen tier)."""
+        f = random_decay_matrix(8, seed=seed, low=1e-8, high=1e12, symmetric=False)
+        assert metricity(f) == pytest.approx(metricity_bisection(f), abs=TOL)
+
+
+class TestExtremeDynamicRange:
+    """Adversarial spaces pushing the scan into its exactness tiers.
+
+    A colinear metric with geometrically exploding coordinates keeps the
+    metricity near 1 while the decay span covers almost the whole float64
+    exponent range, so ``span / zeta`` exceeds the float32 and (for the
+    largest span) even the float64 power tier thresholds.
+    """
+
+    @staticmethod
+    def _colinear_space(lo_exp: float, hi_exp: float, n: int) -> DecaySpace:
+        coords = np.concatenate([[0.0], np.logspace(lo_exp, hi_exp, n - 1)])
+        d = np.abs(coords[:, None] - coords[None, :])
+        return DecaySpace.from_distances(d, 1.0)
+
+    def test_log_domain_tier(self):
+        """span/zeta > 1000: the screen must run via logaddexp."""
+        space = self._colinear_space(-155.0, 150.0, 40)
+        assert np.log2(space.decay_ratio()) > 1000.0  # really the log tier
+        assert metricity(space) == pytest.approx(
+            metricity_bisection(space), abs=TOL_EXTREME
+        )
+
+    def test_f64_linear_tier(self):
+        """80 < span/zeta <= 1000: float64 powers, no float32 screen."""
+        space = self._colinear_space(-75.0, 75.0, 40)
+        assert 80.0 < np.log2(space.decay_ratio()) <= 1000.0
+        assert metricity(space) == pytest.approx(
+            metricity_bisection(space), abs=TOL_EXTREME
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_log_tier_with_noise(self, seed):
+        """Log-tier space perturbed multiplicatively (still huge span)."""
+        space = self._colinear_space(-155.0, 150.0, 24)
+        rng = np.random.default_rng(seed)
+        noise = np.exp(rng.normal(0.0, 0.05, size=space.f.shape))
+        f = space.f * noise
+        np.fill_diagonal(f, 0.0)
+        assert metricity(f) == pytest.approx(
+            metricity_bisection(f), abs=TOL_EXTREME
+        )
+
+
+class TestScreenConfirmHandoff:
+    """Inputs that maximize float32-margin false positives."""
+
+    def test_equally_spaced_grid_ties(self):
+        """Colinear equally spaced points: every inner triple is an exact
+        tie at the answer, so the float32 screen's margin flags them all
+        every block — the float64 confirm must reject them without drift."""
+        pts = np.stack([np.arange(120.0), np.zeros(120)], axis=1)
+        space = DecaySpace.from_points(pts, 3.0)
+        assert metricity(space) == pytest.approx(
+            metricity_bisection(space), abs=TOL
+        )
+
+    def test_near_tie_cloud(self):
+        """A jittered grid: dense near-ties just inside the screen margin."""
+        rng = np.random.default_rng(5)
+        base = np.arange(80.0)
+        pts = np.stack(
+            [base + rng.normal(0, 1e-7, 80), rng.normal(0, 1e-7, 80)], axis=1
+        )
+        space = DecaySpace.from_points(pts, 2.5)
+        assert metricity(space) == pytest.approx(
+            metricity_bisection(space), abs=TOL
+        )
+
+
+class TestScanParameters:
+    """Partitioning cannot move the result beyond the solver tolerance.
+
+    Which triples are flagged at a stale-vs-fresh incumbent can differ
+    exactly for roots within ~tol of it, so different block partitions
+    (and worker interleavings) may disagree at the ulp level — never
+    beyond ``tol``.  The assertions use the default ``tol=1e-9``.
+    """
+
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 64])
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_block_size_invariance(self, block_size, seed):
+        f = random_decay_matrix(40, seed=seed, low=0.2, high=40.0, symmetric=False)
+        assert metricity(f, block_size=block_size) == pytest.approx(
+            metricity(f), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_invariance(self, workers):
+        """block_size=2 forces many blocks through the actual thread pool
+        (the auto block size would cover a small space in one block and
+        silently fall back to the serial path)."""
+        links = build_scenario("dense_urban", n_links=30, seed=3)
+        f = links.space.f
+        pooled = metricity(f, workers=workers, block_size=2)
+        serial = metricity(f, workers=1, block_size=2)
+        assert pooled == pytest.approx(serial, abs=1e-9)
+
+    def test_pool_matches_oracle(self):
+        """The threaded scan is pinned to the bisection oracle directly."""
+        f = random_decay_matrix(36, seed=7, low=0.3, high=30.0, symmetric=False)
+        assert metricity(f, workers=3, block_size=2) == pytest.approx(
+            metricity_bisection(f), abs=TOL
+        )
+
+    def test_rejects_bad_parameters(self):
+        f = random_decay_matrix(5, seed=0)
+        with pytest.raises(ValueError, match="block_size"):
+            metricity(f, block_size=0)
+        with pytest.raises(ValueError, match="workers"):
+            metricity(f, workers=0)

@@ -1,10 +1,21 @@
 """Performance smoke tests: the vectorized kernels must stay fast.
 
-These guard the headline speedups of the metricity/scheduling refactor
-(seed implementation: ~4 s each at these sizes).  Budgets are generous —
-several times the observed times on a laptop-class core — so CI noise does
-not flake them, while a regression to the pre-vectorized O(n^3)-per-pass
-behaviour fails loudly.
+These guard the headline speedups of the metricity/scheduling kernels.
+Budgets are generous — several times the observed times on a single
+laptop-class core — so CI noise does not flake them, while a regression to
+the pre-vectorized O(n^3)-per-pass behaviour fails loudly.
+
+Two tiers of budgets:
+
+* the PR-1 floors (n=300 metricity, m=150 scheduling; seed implementation
+  took ~4 s each) are kept as non-regression guards;
+* the scaled tier (n=2000 metricity via the tiered float32-screen scan,
+  m=500 end-to-end scheduling on the ``dense_urban`` scenario — 500
+  peel rounds through the incremental ledger) pins the order-of-magnitude
+  jump of the tiered/incremental kernels.  Every fast path exercised here
+  is cross-validated against its slow reference in
+  ``tests/core/test_metricity_crossval.py`` and
+  ``tests/algorithms/test_scheduling_incremental.py``.
 """
 
 from __future__ import annotations
@@ -13,14 +24,24 @@ import time
 
 import numpy as np
 
+from repro.algorithms.context import SchedulingContext
 from repro.algorithms.scheduling import schedule_first_fit, schedule_repeated_capacity
 from repro.core.decay import DecaySpace
 from repro.core.metricity import metricity
+from repro.scenarios import build_scenario
 from tests.conftest import make_planar_links
 
 #: Wall-clock budgets (seconds).  Seed implementation: ~4 s each.
 METRICITY_BUDGET = 2.0
 SCHEDULE_BUDGET = 2.0
+
+#: Scaled-tier budgets.  Observed on a single busy-VM core: ~14 s for
+#: n=2000 metricity, ~4 s for the m=500 end-to-end schedule (zeta
+#: resolution on the 1000-node space included).  Pre-tiered kernels took
+#: minutes at these sizes.
+METRICITY_N2000_BUDGET = 75.0
+SCHEDULE_M500_BUDGET = 45.0
+FIRST_FIT_M500_BUDGET = 5.0
 
 
 def test_metricity_n300_under_budget():
@@ -34,6 +55,20 @@ def test_metricity_n300_under_budget():
     assert elapsed < METRICITY_BUDGET, f"metricity n=300 took {elapsed:.2f}s"
 
 
+def test_metricity_n2000_under_budget():
+    """The scaled tier: a 2000-node geometric space through the tiered scan."""
+    rng = np.random.default_rng(2)
+    pts = rng.uniform(0, 40, size=(2000, 2))
+    space = DecaySpace.from_points(pts, 3.0)
+    start = time.perf_counter()
+    zeta = metricity(space)
+    elapsed = time.perf_counter() - start
+    assert abs(zeta - 3.0) < 5e-3
+    assert elapsed < METRICITY_N2000_BUDGET, (
+        f"metricity n=2000 took {elapsed:.2f}s"
+    )
+
+
 def test_schedule_repeated_capacity_m150_under_budget():
     links = make_planar_links(150, alpha=3.0, seed=7, extent=40.0)
     start = time.perf_counter()
@@ -43,6 +78,21 @@ def test_schedule_repeated_capacity_m150_under_budget():
     assert elapsed < SCHEDULE_BUDGET, f"repeated capacity m=150 took {elapsed:.2f}s"
 
 
+def test_schedule_repeated_capacity_m500_under_budget():
+    """The scaled tier, end to end: zeta of the 1000-node dense_urban space
+    plus 500 peel rounds through the incremental ledger (the scenario's
+    high metricity degenerates Algorithm 1's separation, so every round
+    schedules one link — the maximum round count at this size)."""
+    links = build_scenario("dense_urban", n_links=500, seed=2)
+    start = time.perf_counter()
+    schedule = schedule_repeated_capacity(links)
+    elapsed = time.perf_counter() - start
+    assert schedule.all_links() == tuple(range(500))
+    assert elapsed < SCHEDULE_M500_BUDGET, (
+        f"repeated capacity m=500 took {elapsed:.2f}s"
+    )
+
+
 def test_first_fit_m150_stays_fast():
     links = make_planar_links(150, alpha=3.0, seed=7, extent=40.0)
     start = time.perf_counter()
@@ -50,3 +100,16 @@ def test_first_fit_m150_stays_fast():
     elapsed = time.perf_counter() - start
     assert schedule.all_links() == tuple(range(150))
     assert elapsed < 1.0, f"first fit m=150 took {elapsed:.2f}s"
+
+
+def test_first_fit_m500_stays_fast():
+    """First-fit needs no metricity: m=500 must stay well under a second
+    of kernel time even on the dense_urban space (budget covers matrix
+    construction)."""
+    links = build_scenario("dense_urban", n_links=500, seed=2)
+    ctx = SchedulingContext(links)
+    start = time.perf_counter()
+    schedule = schedule_first_fit(links, context=ctx)
+    elapsed = time.perf_counter() - start
+    assert schedule.all_links() == tuple(range(500))
+    assert elapsed < FIRST_FIT_M500_BUDGET, f"first fit m=500 took {elapsed:.2f}s"
