@@ -1,25 +1,69 @@
-"""Benchmarks and reproduction for E12/E13: distributed algorithms."""
+"""Benchmarks and reproduction for E12/E13: distributed algorithms.
+
+The ``scale`` benches pin the PR-3 acceptance property: stability and
+regret simulations at m=500 run on a **shared context with zero
+full-matrix rebuilds inside the round loop** — one affectance build per
+sweep, and O(m) incremental row/column updates per churn event.  The
+builds are counted by wrapping the single batch kernel
+(``repro.algorithms.context.affectance_matrix``) and asserted, so a
+regression that sneaks a rebuild into a loop fails the bench, not just
+slows it down.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+import repro.algorithms.context as context_mod
 from benchmarks.conftest import once, planar_link_instance
+from repro.algorithms.context import SchedulingContext
+from repro.algorithms.scheduling import schedule_first_fit
 from repro.core.decay import DecaySpace
 from repro.distributed.local_broadcast import run_local_broadcast
 from repro.distributed.radio import reception_matrix
 from repro.distributed.regret_capacity import run_regret_capacity
+from repro.distributed.stability import run_queue_simulation
 from repro.experiments.exp_distributed import (
     local_broadcast_table,
     regret_capacity_table,
 )
 from repro.geometry.points import grid_points
+from repro.scenarios import build_dynamic_scenario, build_scenario
+
+SCALE_M = 500
+SCALE_SLOTS = 2000
 
 
 @pytest.fixture(scope="module")
 def grid_space() -> DecaySpace:
     return DecaySpace.from_points(grid_points(8, spacing=2.0), 3.0)
+
+
+@pytest.fixture(scope="module")
+def urban_links():
+    return build_scenario("dense_urban", n_links=SCALE_M, seed=2)
+
+
+@pytest.fixture(scope="module")
+def churn_scenario():
+    return build_dynamic_scenario(
+        "poisson_churn", n_links=SCALE_M, seed=5, horizon=SCALE_SLOTS
+    )
+
+
+@pytest.fixture
+def matrix_build_counter(monkeypatch):
+    """Counts batch affectance builds through the context layer."""
+    calls = {"n": 0}
+    original = context_mod.affectance_matrix
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(context_mod, "affectance_matrix", counting)
+    return calls
 
 
 def test_kernel_radio_slot(benchmark, grid_space):
@@ -68,6 +112,108 @@ def test_e12_local_broadcast(benchmark):
 
 def test_e13_regret_capacity(benchmark):
     table = once(benchmark, regret_capacity_table)
-    fractions = table.column("best/OPT")
-    benchmark.extra_info["best/OPT"] = [round(float(f), 3) for f in fractions]
+    fractions = table.column("best/centralized")
+    benchmark.extra_info["best/centralized"] = {
+        str(name): round(float(f), 3)
+        for name, f in zip(table.column("scenario"), fractions)
+    }
     assert all(f >= 0.5 for f in fractions)
+
+
+# ----------------------------------------------------------------------
+# Scaled tier (m=500, dense_urban): shared context, zero loop rebuilds
+# ----------------------------------------------------------------------
+def test_scale_stability_m500_rate_sweep(
+    benchmark, urban_links, matrix_build_counter
+):
+    """Three-rate LQF sweep at m=500: exactly one affectance build."""
+    per_link = 0.5 / schedule_first_fit(urban_links).length
+    matrix_build_counter["n"] = 0  # discount the first-fit setup build
+
+    def sweep():
+        ctx = SchedulingContext(urban_links)
+        return [
+            run_queue_simulation(
+                urban_links, load * per_link, SCALE_SLOTS,
+                seed=3, context=ctx,
+            )
+            for load in (0.5, 1.0, 1.5)
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert matrix_build_counter["n"] == 1, (
+        f"expected one affectance build per sweep, saw "
+        f"{matrix_build_counter['n']}"
+    )
+    assert all(r.delivered > 0 for r in results)
+    benchmark.extra_info["drift by load"] = {
+        "0.5": round(results[0].drift, 4),
+        "1.0": round(results[1].drift, 4),
+        "1.5": round(results[2].drift, 4),
+    }
+    benchmark.extra_info["matrix builds"] = matrix_build_counter["n"]
+
+
+def test_scale_regret_m500_shared_context(
+    benchmark, urban_links, matrix_build_counter
+):
+    """Two learning runs at m=500 off one context: one build total."""
+
+    def sweep():
+        ctx = SchedulingContext(urban_links)
+        return [
+            run_regret_capacity(
+                urban_links, rounds=SCALE_SLOTS, learning_rate=lr,
+                seed=4, context=ctx,
+            )
+            for lr in (0.05, 0.1)
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert matrix_build_counter["n"] == 1
+    assert all(r.best_size >= 1 for r in results)
+    benchmark.extra_info["best feasible"] = [r.best_size for r in results]
+    benchmark.extra_info["matrix builds"] = matrix_build_counter["n"]
+
+
+def test_scale_churn_m500(benchmark, churn_scenario, matrix_build_counter):
+    """m=500 churn run: one build at setup, O(m) per event, none in-loop."""
+    links = churn_scenario.initial_links()
+    rate = 0.5 / schedule_first_fit(links).length
+    matrix_build_counter["n"] = 0  # discount the first-fit setup build
+
+    def run():
+        return run_queue_simulation(
+            links, rate, SCALE_SLOTS, seed=6, churn=churn_scenario
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # One batch build seeds the DynamicContext; all churn events are
+    # incremental row/column updates, so the count stays at one no matter
+    # how many events fired.
+    assert matrix_build_counter["n"] == 1, (
+        f"churn run rebuilt the matrix {matrix_build_counter['n']} times"
+    )
+    assert result.churn_events > 0
+    assert result.delivered > 0
+    benchmark.extra_info["events applied"] = result.churn_events
+    benchmark.extra_info["packets dropped by departures"] = result.dropped
+    benchmark.extra_info["matrix builds"] = matrix_build_counter["n"]
+
+
+def test_scale_regret_churn_m500(
+    benchmark, churn_scenario, matrix_build_counter
+):
+    """No-regret learning under m=500 churn: still a single build."""
+    links = churn_scenario.initial_links()
+
+    def run():
+        return run_regret_capacity(
+            links, rounds=SCALE_SLOTS, seed=7, churn=churn_scenario
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert matrix_build_counter["n"] == 1
+    assert result.best_size >= 1
+    benchmark.extra_info["best feasible"] = result.best_size
+    benchmark.extra_info["matrix builds"] = matrix_build_counter["n"]

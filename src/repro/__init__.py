@@ -39,6 +39,7 @@ Subpackages
 
 from repro.algorithms import (
     CapacityResult,
+    DynamicContext,
     Schedule,
     SchedulingContext,
     amicable_subset,
@@ -64,7 +65,12 @@ from repro.core import (
     varphi,
 )
 from repro.diagnostics import SpaceReport, characterize
-from repro.distributed import run_local_broadcast, run_regret_capacity
+from repro.distributed import (
+    run_local_broadcast,
+    run_queue_simulation,
+    run_regret_capacity,
+)
+from repro.dynamics import ChurnEvent, DynamicScenario
 from repro.geometry import (
     Environment,
     MeasurementModel,
@@ -73,7 +79,14 @@ from repro.geometry import (
     office_floorplan,
 )
 from repro.hardness import equidecay_instance, twoline_instance
-from repro.scenarios import build_scenario, register_scenario, scenario_names
+from repro.scenarios import (
+    build_dynamic_scenario,
+    build_scenario,
+    dynamic_scenario_names,
+    register_dynamic_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.spaces import (
     assouad_dimension,
     fading_parameter,
@@ -85,7 +98,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CapacityResult",
+    "ChurnEvent",
     "DecaySpace",
+    "DynamicContext",
+    "DynamicScenario",
     "Environment",
     "Link",
     "LinkSet",
@@ -98,6 +114,7 @@ __all__ = [
     "affectance_matrix",
     "amicable_subset",
     "assouad_dimension",
+    "build_dynamic_scenario",
     "build_environment_space",
     "build_scenario",
     "capacity_bounded_growth",
@@ -105,6 +122,7 @@ __all__ = [
     "capacity_optimum",
     "capacity_strongest_first",
     "characterize",
+    "dynamic_scenario_names",
     "equidecay_instance",
     "fading_parameter",
     "independence_dimension",
@@ -114,8 +132,10 @@ __all__ = [
     "metricity",
     "office_floorplan",
     "phi",
+    "register_dynamic_scenario",
     "register_scenario",
     "run_local_broadcast",
+    "run_queue_simulation",
     "run_regret_capacity",
     "scenario_names",
     "schedule_first_fit",

@@ -12,7 +12,7 @@ from repro.algorithms.amicability import (
     verify_amicability,
 )
 from repro.algorithms.capacity import CapacityResult, capacity_bounded_growth
-from repro.algorithms.context import SchedulingContext
+from repro.algorithms.context import DynamicContext, SchedulingContext
 from repro.algorithms.capacity_general import (
     capacity_general_metric,
     capacity_strongest_first,
@@ -49,6 +49,7 @@ __all__ = [
     "AggregationResult",
     "AmicabilityReport",
     "CapacityResult",
+    "DynamicContext",
     "OPT_LIMIT",
     "Schedule",
     "SchedulingContext",

@@ -31,18 +31,24 @@ share one context.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.affectance import affectance_matrix, in_affectances_within
-from repro.core.links import LinkSet
+from repro.core.affectance import (
+    affectance_matrix,
+    in_affectances_within,
+    noise_constants,
+)
+from repro.core.decay import DecaySpace
+from repro.core.links import Link, LinkSet
 from repro.core.power import uniform_power
 from repro.core.separation import link_distance_matrix
-from repro.errors import LinkError
+from repro.errors import InfeasibleLinkError, LinkError, PowerError
 
-__all__ = ["Schedule", "SchedulingContext"]
+__all__ = ["DynamicContext", "Schedule", "SchedulingContext"]
 
 #: Safety margin subtracted from admission thresholds before trusting the
 #: ledger's subtractively-maintained sums: the drift after peeling every
@@ -462,10 +468,23 @@ class SchedulingContext:
         """Schedule by repeatedly peeling off a capacity-approximate set.
 
         ``admission`` selects the per-round kernel: ``"bounded_growth"``
-        (Algorithm 1) or ``"general"`` (the general-metric greedy).  When a
-        round selects nothing from a non-empty remainder, the shortest
-        remaining link is scheduled alone.  Raises :class:`LinkError` when
-        ``max_slots`` rounds leave links unscheduled.
+        (Algorithm 1), ``"general"`` (the general-metric greedy), or
+        ``"adaptive"`` (zeta-adaptive, below).  When a round selects
+        nothing from a non-empty remainder, the shortest remaining link is
+        scheduled alone.  Raises :class:`LinkError` when ``max_slots``
+        rounds leave links unscheduled.
+
+        On high-metricity spaces (``zeta`` well above the path-loss
+        exponent — corridor walls, fading snapshots, dense urban NLOS),
+        Algorithm 1's separation requirement ``(zeta/2) * d_vv`` can exceed
+        the quasi-metric diameter, so every round degenerates to a
+        singleton slot.  ``"adaptive"`` keeps the bounded-growth kernel
+        where its separation is satisfiable, but whenever a round's
+        bounded-growth slot collapses to at most one link while more than
+        one remains, re-runs the round with the general kernel (pure
+        affectance admission, no separation) and keeps the larger slot —
+        the final filter guarantees feasibility either way, so the
+        schedule stays a partition into affectance-feasible slots.
 
         The admission loop is incremental across rounds: an
         :class:`_AffectanceLedger` maintains every link's in/out affectance
@@ -481,14 +500,18 @@ class SchedulingContext:
         pins.  All loop state is local: a ``max_slots`` overflow raises
         without mutating any cached context state.
         """
+        adaptive = False
         if admission == "bounded_growth":
             separation = True
         elif admission == "general":
             separation = False
+        elif admission == "adaptive":
+            separation = True
+            adaptive = True
         else:
             raise LinkError(
                 f"unknown admission kernel {admission!r}; "
-                "expected 'bounded_growth' or 'general'"
+                "expected 'bounded_growth', 'general' or 'adaptive'"
             )
         a = self.affectance
         order = self.order
@@ -504,6 +527,15 @@ class SchedulingContext:
                 active_order, threshold, separation=separation, auto=auto
             )
             chosen = list(self._final_filter(a, x))
+            if adaptive and len(chosen) <= 1 and active_order.size > 1:
+                # Separation degenerated this round; the general kernel's
+                # affectance-only admission can still pack several links.
+                relaxed = self._greedy_admission(
+                    active_order, threshold, separation=False, auto=auto
+                )
+                relaxed_chosen = list(self._final_filter(a, relaxed))
+                if len(relaxed_chosen) > len(chosen):
+                    chosen = relaxed_chosen
             if not chosen:
                 # order sorts by (length, index), so the first remaining
                 # link is exactly the historical min(remaining) fallback.
@@ -516,9 +548,526 @@ class SchedulingContext:
             )
         return tuple(slots)
 
+    # ------------------------------------------------------------------
+    # Dynamic view
+    # ------------------------------------------------------------------
+    def dynamic(self, capacity: int | None = None) -> "DynamicContext":
+        """An incremental :class:`DynamicContext` seeded from this context.
+
+        The dynamic view starts with this context's links occupying slots
+        ``0 .. m-1`` (in link order) and adopts any already-computed
+        matrices, so going dynamic never recomputes affectance or
+        distances.  The returned object is independent: mutating it does
+        not touch this context.
+        """
+        return DynamicContext._from_context(self, capacity=capacity)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cached = sorted(self._cache)
         return (
             f"SchedulingContext(m={self.m}, noise={self._noise}, "
             f"beta={self._beta}, cached={cached})"
+        )
+
+
+class DynamicContext:
+    """Incremental link arrivals and departures over a fixed decay space.
+
+    The online counterpart of :class:`SchedulingContext`: links join
+    (:meth:`add_link`) and leave (:meth:`remove_links`) one event at a
+    time, and every maintained object — the raw and clipped affectance
+    matrices, link quasi-distances, lengths, powers, noise constants, and
+    the ledger-style in/out affectance sums — is updated in **O(m) work
+    per event** (one row and one column), never by an O(m^2) rebuild.
+
+    Exactness contract: every maintained *matrix entry* is computed by the
+    same elementwise IEEE operations as a from-scratch
+    :class:`SchedulingContext` over the current link set, so
+    :meth:`freeze` produces a context whose affectance and distance
+    matrices — and therefore whose capacity/scheduling outputs — are
+    byte-identical to a fresh build (the test suite pins this across
+    random churn sequences).  The running ledger *sums* are maintained by
+    subtraction and may drift by a few ulp from a fresh sum; anything that
+    needs exact sums (the scheduling kernels) recomputes them from the
+    exact matrices inside :meth:`freeze`-produced contexts.
+
+    Storage is slot-stable: each link occupies a fixed *slot* index for
+    its whole lifetime, departures free the slot, and later arrivals
+    reuse the lowest free slot.  Stable slots mean per-link simulation
+    state (queues, learning weights) never needs re-indexing on churn;
+    the padded arrays simply carry zero rows/columns at free slots.
+    Capacity grows by doubling, so slot indices never move.
+
+    Parameters
+    ----------
+    space:
+        The fixed node universe.  All arrivals reference its node
+        indices; mobility is modelled by including every position a node
+        will ever visit in the space (see
+        :func:`repro.scenarios.build_dynamic_scenario`).
+    links:
+        Optional initial links (``Link`` or ``(sender, receiver)``), given
+        slots ``0 .. m-1`` in order.
+    powers:
+        Initial per-link powers (default: uniform 1).  Arrivals carry
+        their own power.
+    noise, beta, zeta:
+        As for :class:`SchedulingContext`, fixed for the lifetime.
+    """
+
+    __slots__ = (
+        "_space", "_noise", "_beta", "_zeta_arg", "_zeta", "_capacity",
+        "_senders", "_receivers", "_powers", "_lengths", "_c",
+        "_a_raw", "_a_clip", "_dist", "_active", "_free", "_count",
+        "_in_sum", "_out_sum",
+    )
+
+    _MIN_CAPACITY = 8
+
+    def __init__(
+        self,
+        space: DecaySpace,
+        links: Iterable[Link | tuple[int, int]] = (),
+        powers: np.ndarray | Sequence[float] | None = None,
+        *,
+        noise: float = 0.0,
+        beta: float = 1.0,
+        zeta: float | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        if zeta is not None and zeta <= 0:
+            raise LinkError(f"zeta must be positive, got {zeta}")
+        self._space = space
+        self._noise = float(noise)
+        self._beta = float(beta)
+        self._zeta_arg = zeta
+        self._zeta: float | None = None
+        pairs = [
+            l if isinstance(l, Link) else Link(int(l[0]), int(l[1]))
+            for l in links
+        ]
+        cap = max(
+            self._MIN_CAPACITY,
+            len(pairs),
+            0 if capacity is None else int(capacity),
+        )
+        self._allocate(cap)
+        if pairs:
+            initial = LinkSet(space, pairs)
+            p0 = (
+                uniform_power(initial)
+                if powers is None
+                else np.asarray(powers, dtype=float)
+            )
+            ctx = SchedulingContext(
+                initial, p0, noise=self._noise, beta=self._beta, zeta=zeta
+            )
+            self._adopt(ctx)
+        elif powers is not None and len(np.atleast_1d(powers)):
+            raise PowerError("powers given without initial links")
+
+    # ------------------------------------------------------------------
+    # Construction internals
+    # ------------------------------------------------------------------
+    def _allocate(self, cap: int) -> None:
+        self._capacity = cap
+        self._senders = np.zeros(cap, dtype=int)
+        self._receivers = np.zeros(cap, dtype=int)
+        self._powers = np.zeros(cap)
+        self._lengths = np.zeros(cap)
+        self._c = np.zeros(cap)
+        self._a_raw = np.zeros((cap, cap))
+        self._a_clip = np.zeros((cap, cap))
+        self._dist: np.ndarray | None = None
+        self._active = np.zeros(cap, dtype=bool)
+        self._free = list(range(cap))
+        heapq.heapify(self._free)
+        self._count = 0
+        self._in_sum = np.zeros(cap)
+        self._out_sum = np.zeros(cap)
+
+    @classmethod
+    def _from_context(
+        cls, ctx: SchedulingContext, capacity: int | None = None
+    ) -> "DynamicContext":
+        dyn = cls(
+            ctx.links.space,
+            noise=ctx.noise,
+            beta=ctx.beta,
+            zeta=ctx._zeta_arg,
+            capacity=max(ctx.m, 0 if capacity is None else int(capacity)),
+        )
+        dyn._adopt(ctx)
+        return dyn
+
+    def _adopt(self, ctx: SchedulingContext) -> None:
+        """Install a static context's links (slots ``0..m-1``, in order).
+
+        Matrices are taken from the context — computed there if absent —
+        so adoption is one batch build (or a pure copy when the context
+        already has them), identical float-for-float to a fresh
+        :class:`SchedulingContext` over the same links.
+        """
+        m = ctx.m
+        if m > self._capacity:
+            self._grow(m)
+        links = ctx.links
+        sl = np.arange(m)
+        self._senders[sl] = links.senders
+        self._receivers[sl] = links.receivers
+        self._powers[sl] = ctx.powers
+        self._lengths[sl] = links.lengths
+        self._c[sl] = noise_constants(
+            links, ctx.powers, noise=self._noise, beta=self._beta
+        )
+        self._a_raw[:m, :m] = ctx.raw_affectance
+        self._a_clip[:m, :m] = ctx.affectance
+        if "dist" in ctx._cache:
+            self._ensure_dist()
+            self._dist[:m, :m] = ctx.link_distances
+        if "zeta" in ctx._cache:
+            self._zeta = ctx.zeta
+        self._active[sl] = True
+        self._free = [s for s in range(self._capacity) if s >= m]
+        heapq.heapify(self._free)
+        self._count = m
+        self._in_sum[:m] = self._a_clip[:m, :m].sum(axis=0)
+        self._out_sum[:m] = self._a_clip[:m, :m].sum(axis=1)
+
+    def _grow(self, need: int) -> None:
+        cap = self._capacity
+        new_cap = max(cap * 2, need, self._MIN_CAPACITY)
+        for name in ("_senders", "_receivers"):
+            old = getattr(self, name)
+            fresh = np.zeros(new_cap, dtype=int)
+            fresh[:cap] = old
+            setattr(self, name, fresh)
+        for name in ("_powers", "_lengths", "_c", "_in_sum", "_out_sum"):
+            old = getattr(self, name)
+            fresh = np.zeros(new_cap)
+            fresh[:cap] = old
+            setattr(self, name, fresh)
+        for name in ("_a_raw", "_a_clip", "_dist"):
+            old = getattr(self, name)
+            if old is None:
+                continue
+            fresh = np.zeros((new_cap, new_cap))
+            fresh[:cap, :cap] = old
+            setattr(self, name, fresh)
+        mask = np.zeros(new_cap, dtype=bool)
+        mask[:cap] = self._active
+        self._active = mask
+        for s in range(cap, new_cap):
+            heapq.heappush(self._free, s)
+        self._capacity = new_cap
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> DecaySpace:
+        """The fixed node universe."""
+        return self._space
+
+    @property
+    def m(self) -> int:
+        """Number of currently active links."""
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slot count (active links + free slots)."""
+        return self._capacity
+
+    @property
+    def noise(self) -> float:
+        """Ambient noise ``N``."""
+        return self._noise
+
+    @property
+    def beta(self) -> float:
+        """SINR threshold ``beta``."""
+        return self._beta
+
+    @property
+    def active_slots(self) -> np.ndarray:
+        """Sorted slot indices of the active links."""
+        return np.flatnonzero(self._active)
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean activity mask over all slots (read-only view)."""
+        return self._active
+
+    @property
+    def zeta(self) -> float:
+        """The resolved metricity (cached; computed on first use)."""
+        if self._zeta is None:
+            if self._zeta_arg is not None:
+                self._zeta = float(self._zeta_arg)
+            else:
+                z = self._space.metricity()
+                self._zeta = z if z > 0 else 1.0
+        return self._zeta
+
+    @property
+    def zeta_capacity(self) -> float:
+        """``zeta`` clamped below at 1 — the distance-matrix exponent."""
+        return max(self.zeta, 1.0)
+
+    @property
+    def raw_affectance(self) -> np.ndarray:
+        """Padded unclipped affectance; free slots carry zero rows/cols."""
+        return self._a_raw
+
+    @property
+    def affectance(self) -> np.ndarray:
+        """Padded clipped affectance ``min(1, a_w(v))``."""
+        return self._a_clip
+
+    @property
+    def link_distances(self) -> np.ndarray:
+        """Padded link quasi-distances (materialized on first access)."""
+        self._ensure_dist(populate=True)
+        return self._dist
+
+    @property
+    def senders(self) -> np.ndarray:
+        """Padded sender node indices by slot."""
+        return self._senders
+
+    @property
+    def receivers(self) -> np.ndarray:
+        """Padded receiver node indices by slot."""
+        return self._receivers
+
+    @property
+    def powers(self) -> np.ndarray:
+        """Padded per-slot powers."""
+        return self._powers
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Padded signal decays ``f_vv`` by slot."""
+        return self._lengths
+
+    @property
+    def ledger_in_sums(self) -> np.ndarray:
+        """Running ``a_M(v)`` over the active set (subtractive; see class doc)."""
+        return self._in_sum
+
+    @property
+    def ledger_out_sums(self) -> np.ndarray:
+        """Running ``a_v(M)`` over the active set (subtractive; see class doc)."""
+        return self._out_sum
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def add_link(
+        self, sender: int, receiver: int, power: float = 1.0
+    ) -> int:
+        """Admit a link; returns the slot index it will occupy.
+
+        O(m): the new link's affectance row/column (and distance
+        row/column when distances are materialized) are computed against
+        the active set with the exact elementwise formulas of the batch
+        builders, and the ledger sums absorb them.
+        """
+        link = Link(int(sender), int(receiver))
+        if max(link.sender, link.receiver) >= self._space.n:
+            raise LinkError(
+                f"link endpoint {max(link.sender, link.receiver)} out of "
+                f"range for a {self._space.n}-node space"
+            )
+        p_new = float(power)
+        if not np.isfinite(p_new) or p_new <= 0:
+            raise PowerError("powers must be positive and finite")
+        f = self._space.f
+        length = float(f[link.sender, link.receiver])
+        # Same scalar expression as core.affectance.noise_constants.
+        slack = 1.0 - self._beta * self._noise * length / p_new
+        if slack <= 0:
+            raise InfeasibleLinkError(
+                f"arriving link ({link.sender}, {link.receiver}) cannot "
+                f"overcome ambient noise: P/f_vv = {p_new / length:.4g} <= "
+                f"beta*N = {self._beta * self._noise:.4g}"
+            )
+        c_new = self._beta / slack
+        if not self._free:
+            self._grow(self._capacity + 1)
+        act = self.active_slots
+        slot = heapq.heappop(self._free)
+        # Affectance row (new acting on active) and column (active acting
+        # on new): per element, (c_v * (P_u / P_v)) * (f_vv / f_uv) — the
+        # exact association order of the batch affectance_matrix kernel.
+        if act.size:
+            p_act = self._powers[act]
+            c_act = self._c[act]
+            l_act = self._lengths[act]
+            with np.errstate(divide="ignore"):
+                row = (
+                    c_act
+                    * (p_new / p_act)
+                    * (l_act / f[link.sender, self._receivers[act]])
+                )
+                col = (
+                    c_new
+                    * (p_act / p_new)
+                    * (length / f[self._senders[act], link.receiver])
+                )
+            self._a_raw[slot, act] = row
+            self._a_raw[act, slot] = col
+            clip_row = np.minimum(row, 1.0)
+            clip_col = np.minimum(col, 1.0)
+            self._a_clip[slot, act] = clip_row
+            self._a_clip[act, slot] = clip_col
+            self._in_sum[slot] = clip_col.sum()
+            self._out_sum[slot] = clip_row.sum()
+            self._in_sum[act] += clip_row
+            self._out_sum[act] += clip_col
+        else:
+            self._in_sum[slot] = 0.0
+            self._out_sum[slot] = 0.0
+        self._senders[slot] = link.sender
+        self._receivers[slot] = link.receiver
+        self._powers[slot] = p_new
+        self._lengths[slot] = length
+        self._c[slot] = c_new
+        if self._dist is not None:
+            self._update_dist(slot, act, link, length)
+        self._active[slot] = True
+        self._count += 1
+        return slot
+
+    def _update_dist(
+        self, slot: int, act: np.ndarray, link: Link, length: float
+    ) -> None:
+        """Distance row/col for an arrival (O(m); exact per element)."""
+        inv = 1.0 / self.zeta_capacity
+        f = self._space.f
+        # Through the ufunc loop, not Python's scalar pow — the two can
+        # differ by an ulp, and the batch kernel uses the ufunc.
+        self._dist[slot, slot] = np.power(
+            np.asarray([length]), inv
+        )[0]
+        if not act.size:
+            return
+        s_act = self._senders[act]
+        r_act = self._receivers[act]
+        # The four endpoint candidates of core.separation, per element:
+        # min(min(d(s_v, r_w), d(s_w, r_v)), min(d(s_v, s_w), d(r_v, r_w))).
+        sr = f[link.sender, r_act] ** inv  # d(s_new, r_w)
+        rs = f[s_act, link.receiver] ** inv  # d(s_w, r_new)
+        ss_fwd = f[link.sender, s_act] ** inv  # d(s_new, s_w)
+        ss_bwd = f[s_act, link.sender] ** inv  # d(s_w, s_new)
+        rr_fwd = f[link.receiver, r_act] ** inv  # d(r_new, r_w)
+        rr_bwd = f[r_act, link.receiver] ** inv  # d(r_w, r_new)
+        self._dist[slot, act] = np.minimum(
+            np.minimum(sr, rs), np.minimum(ss_fwd, rr_fwd)
+        )
+        self._dist[act, slot] = np.minimum(
+            np.minimum(rs, sr), np.minimum(ss_bwd, rr_bwd)
+        )
+
+    def remove_links(self, slots: Iterable[int] | int) -> None:
+        """Retire links by slot index; their slots become reusable.
+
+        O(m) per removed link: ledger sums shed the departed rows and
+        columns by subtraction, and the freed rows/columns are zeroed so
+        the padded matrices never leak stale interference.
+        """
+        if isinstance(slots, (int, np.integer)):
+            slots = [int(slots)]
+        idx = np.asarray(sorted({int(s) for s in slots}), dtype=int)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._capacity or not bool(
+            np.all(self._active[idx])
+        ):
+            bad = [
+                int(s)
+                for s in idx
+                if s < 0 or s >= self._capacity or not self._active[s]
+            ]
+            raise LinkError(f"cannot remove inactive slots {bad[:5]}")
+        self._in_sum -= self._a_clip[idx].sum(axis=0)
+        self._out_sum -= self._a_clip[:, idx].sum(axis=1)
+        self._in_sum[idx] = 0.0
+        self._out_sum[idx] = 0.0
+        self._active[idx] = False
+        self._count -= idx.size
+        self._a_raw[idx, :] = 0.0
+        self._a_raw[:, idx] = 0.0
+        self._a_clip[idx, :] = 0.0
+        self._a_clip[:, idx] = 0.0
+        if self._dist is not None:
+            self._dist[idx, :] = 0.0
+            self._dist[:, idx] = 0.0
+        for s in idx:
+            heapq.heappush(self._free, int(s))
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def _ensure_dist(self, populate: bool = False) -> None:
+        if self._dist is None:
+            self._dist = np.zeros((self._capacity, self._capacity))
+            populate = populate and self._count > 0
+        else:
+            populate = False
+        if populate:
+            inv = 1.0 / self.zeta_capacity
+            act = self.active_slots
+            f = self._space.f
+            s, r = self._senders[act], self._receivers[act]
+            sv_rw = f[np.ix_(s, r)] ** inv
+            sv_sw = f[np.ix_(s, s)] ** inv
+            rv_rw = f[np.ix_(r, r)] ** inv
+            out = np.minimum(
+                np.minimum(sv_rw, sv_rw.T), np.minimum(sv_sw, rv_rw)
+            )
+            np.fill_diagonal(out, np.diagonal(sv_rw))
+            self._dist[np.ix_(act, act)] = out
+
+    # ------------------------------------------------------------------
+    # Bridges
+    # ------------------------------------------------------------------
+    def freeze(self) -> SchedulingContext:
+        """A static :class:`SchedulingContext` over the current links.
+
+        Active links are listed in slot order.  The frozen context's
+        matrix caches are injected from the maintained padded arrays —
+        byte-identical to a from-scratch build, without recomputing a
+        single affectance or distance entry.  The result is independent
+        of further churn on this object.
+        """
+        act = self.active_slots
+        if act.size == 0:
+            raise LinkError("cannot freeze an empty dynamic context")
+        pairs = [
+            (int(self._senders[s]), int(self._receivers[s])) for s in act
+        ]
+        ctx = SchedulingContext(
+            LinkSet(self._space, pairs),
+            self._powers[act].copy(),
+            noise=self._noise,
+            beta=self._beta,
+            zeta=self._zeta_arg,
+        )
+        ctx._cache["raw_affectance"] = self._a_raw[np.ix_(act, act)].copy()
+        ctx._cache["affectance"] = self._a_clip[np.ix_(act, act)].copy()
+        if self._zeta is not None:
+            ctx._cache["zeta"] = self._zeta
+        if self._dist is not None:
+            ctx._cache["dist"] = self._dist[np.ix_(act, act)].copy()
+        return ctx
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicContext(m={self._count}, capacity={self._capacity}, "
+            f"space_n={self._space.n}, noise={self._noise}, beta={self._beta})"
         )

@@ -41,6 +41,7 @@ def schedule_repeated_capacity(
     beta: float = 1.0,
     max_slots: int | None = None,
     context: SchedulingContext | None = None,
+    admission: str | None = None,
 ) -> Schedule:
     """Schedule by repeatedly removing an (approximately) maximum feasible set.
 
@@ -50,6 +51,12 @@ def schedule_repeated_capacity(
     link of smallest length is scheduled alone — a single link is always
     feasible when noise permits.
 
+    ``admission`` names a context kernel directly (``"bounded_growth"``,
+    ``"general"`` or ``"adaptive"`` — the zeta-adaptive rule for
+    high-metricity spaces, see
+    :meth:`SchedulingContext.repeated_capacity`); it cannot be combined
+    with an explicit ``capacity_algorithm``.
+
     The default (and :func:`capacity_general_metric`) runs through a shared
     :class:`SchedulingContext` on index masks — no per-round ``LinkSet``
     rebuilds — producing byte-identical slots to the historical
@@ -57,12 +64,15 @@ def schedule_repeated_capacity(
     generic per-round-subset path.
     """
     ctx = None if context is None else check_context(context, links, noise, beta)
-    if capacity_algorithm is None or capacity_algorithm is capacity_bounded_growth:
+    if admission is not None:
+        if capacity_algorithm is not None:
+            raise LinkError(
+                "pass either capacity_algorithm or admission, not both"
+            )
+    elif capacity_algorithm is None or capacity_algorithm is capacity_bounded_growth:
         admission = "bounded_growth"
     elif capacity_algorithm is capacity_general_metric:
         admission = "general"
-    else:
-        admission = None
     if admission is not None:
         if ctx is None:
             ctx = SchedulingContext(links, noise=noise, beta=beta)

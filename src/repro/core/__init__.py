@@ -8,6 +8,7 @@ eta-separation.
 
 from repro.core.affectance import (
     affectance_matrix,
+    feasible_within,
     in_affectance,
     in_affectances_within,
     noise_constants,
@@ -65,6 +66,7 @@ __all__ = [
     "Link",
     "LinkSet",
     "affectance_matrix",
+    "feasible_within",
     "feasibility_margin",
     "in_affectance",
     "in_affectances_within",

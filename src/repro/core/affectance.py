@@ -30,6 +30,7 @@ __all__ = [
     "in_affectance",
     "out_affectance",
     "in_affectances_within",
+    "feasible_within",
     "total_affectance",
 ]
 
@@ -116,6 +117,20 @@ def in_affectances_within(
     idx = np.asarray(subset, dtype=int)
     sub = a[np.ix_(idx, idx)]
     return sub.sum(axis=0)
+
+
+def feasible_within(
+    a: np.ndarray, subset: np.ndarray | list[int]
+) -> np.ndarray:
+    """Mask of links in ``subset`` whose in-affectance within it is <= 1.
+
+    The paper's simultaneous-feasibility test, one member at a time: with
+    ``a`` unclipped, ``a_S(v) <= 1`` is exactly ``SINR_v >= beta`` under
+    the transmission set ``S`` (Sec. 2.4).  This is the single shared
+    implementation of the check the simulators and policies apply per
+    slot; the returned mask is aligned with ``subset``.
+    """
+    return in_affectances_within(a, subset) <= 1.0
 
 
 def total_affectance(a: np.ndarray, subset: np.ndarray | list[int]) -> float:

@@ -9,7 +9,11 @@ slot is ``(1 - p)^k``, so ``k`` is estimated as
 ``log(idle_fraction) / log(1 - p)``.
 
 "Busy" is energy detection over the decay space: the listener's received
-interference exceeds a carrier-sense threshold.
+interference exceeds a carrier-sense threshold.  The whole experiment is
+one ``(slots, k)`` Bernoulli draw and one matrix product against the
+candidate gains — no per-slot Python loop — and, like every other
+simulation module, it is seeded: identical inputs reproduce identical
+estimates.
 """
 
 from __future__ import annotations
@@ -22,6 +26,18 @@ from repro.errors import SimulationError
 __all__ = ["busy_fraction", "estimate_neighborhood_size"]
 
 
+def _resolve_rng(
+    seed: int | np.random.Generator | None,
+    rng: np.random.Generator | None,
+) -> np.random.Generator:
+    """``rng`` (the legacy keyword) wins; else ``seed`` like every module."""
+    if rng is not None:
+        return rng
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
 def busy_fraction(
     space: DecaySpace,
     listener: int,
@@ -31,29 +47,29 @@ def busy_fraction(
     *,
     power: float = 1.0,
     sense_threshold: float = 1e-9,
+    seed: int | np.random.Generator | None = None,
     rng: np.random.Generator | None = None,
 ) -> float:
     """Fraction of slots with detected energy above the sense threshold.
 
     ``candidates`` transmit i.i.d. with ``probability`` each slot; the
-    listener sums their received powers ``power / f(u, listener)``.
+    listener sums their received powers ``power / f(u, listener)``.  All
+    ``slots`` are drawn as one Bernoulli matrix and the per-slot energies
+    are a single matrix-vector product against the gains.
     """
     if not 0 < probability < 1:
         raise SimulationError("probability must be in (0, 1)")
     if slots < 1:
         raise SimulationError("need at least one slot")
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = _resolve_rng(seed, rng)
     cand = np.asarray(candidates, dtype=int)
     cand = cand[cand != listener]
     if cand.size == 0:
         return 0.0
     gains = power / space.f[cand, listener]
-    busy = 0
-    for _ in range(slots):
-        active = gen.random(cand.size) < probability
-        if float(gains[active].sum()) > sense_threshold:
-            busy += 1
-    return busy / slots
+    active = gen.random((slots, cand.size)) < probability
+    energy = active.astype(float) @ gains
+    return float((energy > sense_threshold).sum()) / slots
 
 
 def estimate_neighborhood_size(
@@ -65,6 +81,7 @@ def estimate_neighborhood_size(
     slots: int = 400,
     power: float = 1.0,
     sense_threshold: float | None = None,
+    seed: int | np.random.Generator | None = None,
     rng: np.random.Generator | None = None,
 ) -> float:
     """Estimate ``|{u : f(u, listener) <= radius}|`` through the channel.
@@ -87,6 +104,7 @@ def estimate_neighborhood_size(
         slots,
         power=power,
         sense_threshold=thresh,
+        seed=seed,
         rng=rng,
     )
     idle = 1.0 - fraction

@@ -9,21 +9,36 @@ exactly the property Theorem 4 establishes for bounded-growth decay spaces
 (making the guarantee ``zeta^O(1)`` there via our amicability bound).
 
 The implementation is honestly distributed: agents observe only their own
-success bit; all coupling flows through the SINR channel.
+success bit; all coupling flows through the SINR channel.  The round loop
+keeps one weight-gap array per link (``delta = log w_tx - log w_idle``;
+idle utility is identically zero, so the gap is the whole state) and
+touches only transmitting links per update — and it never rebuilds the
+affectance matrix: pass ``context=`` to share one across a sweep, or
+``churn=`` to let links arrive/depart mid-run through the incremental
+:class:`~repro.algorithms.context.DynamicContext` (arrivals start at the
+uninformed ``delta = 0``; departures take their learning state with them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.affectance import affectance_matrix, in_affectances_within
+from repro.algorithms.context import SchedulingContext, check_context
+from repro.core.affectance import feasible_within
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
+from repro.dynamics import ChurnDriver
 from repro.errors import SimulationError
 
 __all__ = ["RegretCapacityResult", "run_regret_capacity"]
+
+#: MWU weight gaps are clipped to this magnitude before the sigmoid; at
+#: +-500 the transmit probability is saturated to 60+ decimal digits, so
+#: clipping cannot change a single Bernoulli draw.
+_DELTA_CLIP = 500.0
 
 
 @dataclass(frozen=True)
@@ -37,20 +52,30 @@ class RegretCapacityResult:
     mean_successes:
         Average number of successful links per round over the tail window.
     final_probabilities:
-        Per-link transmit probability after the last round.
+        Per-link transmit probability after the last round (aligned with
+        ``active_slots`` in churn runs, with the link set otherwise).
     best_feasible:
-        The largest *feasible* success set observed in any single round.
+        The largest *feasible* success set observed in any single round
+        (slot indices of the links, valid at the round it was observed).
+    active_slots:
+        Slot indices active at the end of a churn run; ``None`` for
+        static runs.
     """
 
     rounds: int
     mean_successes: float
     final_probabilities: np.ndarray
     best_feasible: tuple[int, ...]
+    active_slots: np.ndarray | None = None
 
     @property
     def best_size(self) -> int:
         """Cardinality of the best observed feasible set."""
         return len(self.best_feasible)
+
+
+def _sigmoid(delta: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(delta, -_DELTA_CLIP, _DELTA_CLIP)))
 
 
 def run_regret_capacity(
@@ -64,6 +89,8 @@ def run_regret_capacity(
     power: float = 1.0,
     tail_fraction: float = 0.25,
     seed: int | np.random.Generator | None = None,
+    context: SchedulingContext | None = None,
+    churn: Sequence | None = None,
 ) -> RegretCapacityResult:
     """Run multiplicative-weights transmit/idle learning on a link set.
 
@@ -78,6 +105,13 @@ def run_regret_capacity(
     tail_fraction:
         Fraction of final rounds over which ``mean_successes`` is averaged
         (the learning transient is excluded).
+    context:
+        Optional shared :class:`SchedulingContext`; its unclipped
+        affectance is reused instead of rebuilding the matrix per call.
+    churn:
+        Optional :class:`~repro.dynamics.DynamicScenario` or sequence of
+        :class:`~repro.dynamics.ChurnEvent` — links arrive/depart mid-run
+        via the incremental context (O(m) per event, no rebuilds).
     """
     if rounds < 1:
         raise SimulationError("need at least one round")
@@ -89,46 +123,62 @@ def run_regret_capacity(
         else np.random.default_rng(seed)
     )
     powers = uniform_power(links, power)
-    # Unclipped affectance gives the exact per-round SINR outcome.
-    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    if context is not None:
+        check_context(context, links, noise, beta, powers)
 
-    m = links.m
-    log_w_tx = np.zeros(m)
-    log_w_idle = np.zeros(m)
+    base = (
+        context
+        if context is not None
+        else SchedulingContext(links, powers, noise=noise, beta=beta)
+    )
+    if churn is None:
+        dyn = None
+        driver = None
+        # Unclipped affectance gives the exact per-round SINR outcome.
+        a = base.raw_affectance
+        idx = np.arange(links.m)  # the active set never changes
+        size = links.m
+    else:
+        dyn = base.dynamic()
+        driver = ChurnDriver(dyn, churn, power=power)
+        a = dyn.raw_affectance
+        idx = dyn.active_slots
+        size = dyn.capacity
+
+    delta = np.zeros(size)  # log w_tx - log w_idle per slot
     successes_per_round = np.zeros(rounds)
     best_feasible: tuple[int, ...] = ()
 
     for t in range(rounds):
-        z = np.exp(log_w_tx - np.maximum(log_w_tx, log_w_idle))
-        z_idle = np.exp(log_w_idle - np.maximum(log_w_tx, log_w_idle))
-        p_tx = z / (z + z_idle)
-        active = np.flatnonzero(rng.random(m) < p_tx)
+        if driver is not None:
+            # step_state zeroes departed gaps and starts arrivals at the
+            # uninformed delta = 0, growing the array with the context.
+            delta, arrived, departed, _ = driver.step_state(t, delta)
+            if arrived or departed:
+                a = dyn.raw_affectance  # capacity growth reallocates it
+            idx = dyn.active_slots
+        p_tx = _sigmoid(delta[idx])
+        active = idx[rng.random(idx.size) < p_tx]
         if active.size:
-            in_aff = in_affectances_within(a, active)
-            ok = in_aff <= 1.0
-            winners = active[ok]
+            winners = active[feasible_within(a, active)]
         else:
             winners = np.empty(0, dtype=int)
         successes_per_round[t] = winners.size
         if winners.size > len(best_feasible):
             best_feasible = tuple(int(v) for v in winners)
 
-        utility = np.zeros(m)
-        utility[active] = -failure_cost
-        utility[winners] = 1.0
-        log_w_tx += learning_rate * utility
-        # Idle utility is zero; keep weights bounded by re-centering.
-        shift = np.maximum(log_w_tx, log_w_idle)
-        log_w_tx -= shift
-        log_w_idle -= shift
+        # Idle utility is zero, so only transmitters move the gap:
+        # failures pay -failure_cost, successes overwrite that with +1.
+        delta[active] += learning_rate * -failure_cost
+        delta[winners] += learning_rate * (1.0 + failure_cost)
 
     tail = max(1, int(rounds * tail_fraction))
     mean_successes = float(successes_per_round[-tail:].mean())
-    z = np.exp(log_w_tx)
-    z_idle = np.exp(log_w_idle)
+    act = dyn.active_slots if dyn is not None else idx
     return RegretCapacityResult(
         rounds=rounds,
         mean_successes=mean_successes,
-        final_probabilities=z / (z + z_idle),
+        final_probabilities=_sigmoid(delta[act]),
         best_feasible=best_feasible,
+        active_slots=act if dyn is not None else None,
     )

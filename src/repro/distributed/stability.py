@@ -10,10 +10,18 @@ decay spaces; this module provides the substrate to observe it:
 * a queueing simulator over any :class:`~repro.core.links.LinkSet`,
 * two policies — *longest-queue-first with exact feasibility* (the
   centralized reference) and *random backoff* (the distributed
-  strawman [44] improves upon).
+  strawman [44] improves upon),
+* a **churn mode**: links arrive and depart mid-run through the
+  incremental :class:`~repro.algorithms.context.DynamicContext` — O(m)
+  matrix work per event, never a rebuild.
 
-The experiment drivers sweep the arrival rate against the measured
-capacity and report the stability threshold's location.
+The simulator never rebuilds the affectance matrix inside the slot loop:
+pass ``context=`` to share one :class:`SchedulingContext` across a whole
+arrival-rate sweep (one matrix build per sweep), and churn events update
+rows/columns incrementally.  Policies receive the (possibly padded)
+affectance matrix and the queue vector; inactive slots carry zero queues
+and zero affectance rows, so the same policy callables work unchanged in
+static and churn runs.
 """
 
 from __future__ import annotations
@@ -23,9 +31,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.affectance import affectance_matrix
+from repro.algorithms.context import SchedulingContext, check_context
+from repro.core.affectance import feasible_within
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
+from repro.dynamics import ChurnDriver
 from repro.errors import SimulationError
 
 __all__ = [
@@ -45,23 +55,46 @@ def lqf_policy(
 
     Greedily admits backlogged links in decreasing queue order while the
     chosen set stays feasible (in-affectance at most 1 for every member).
+
+    The scan is vectorized per *admission* instead of per candidate:
+    because the chosen set and its in-affectances only grow, a candidate
+    rejected once stays rejected for the rest of the slot, so each pass
+    evaluates every remaining candidate against the current set in one
+    matrix expression, admits the first feasible one, and discards the
+    prefix of rejected candidates.  The admissions — and hence the
+    returned set — are identical to the historical one-candidate-at-a-time
+    loop; the test suite pins this equivalence.
     """
-    order = np.argsort(-queues, kind="stable")
-    chosen: list[int] = []
+    backlogged = np.flatnonzero(queues > 0.0)
+    if backlogged.size == 0:
+        return backlogged
+    # Stable sort by decreasing queue, index tie-break: restricting the
+    # historical full argsort to the backlogged links yields the same
+    # visiting order (stable sorts commute with subsetting).
+    cand = backlogged[np.argsort(-queues[backlogged], kind="stable")]
+    chosen = np.empty(cand.size, dtype=int)
+    count = 0
     in_aff = np.zeros(queues.shape[0])
-    for v in order:
-        v = int(v)
-        if queues[v] <= 0:
-            break
-        if in_aff[v] > 1.0:
-            continue
-        if chosen and np.any(
-            in_aff[chosen] + a[v, chosen] > 1.0
-        ):
-            continue
-        chosen.append(v)
+    while cand.size:
+        if count == 0:
+            hit = 0  # empty set: the longest backlogged queue is feasible
+        else:
+            members = chosen[:count]
+            # Member-side worst case: max over chosen of a_X(w) + a_v(w).
+            worst = (
+                a[np.ix_(cand, members)] + in_aff[members][None, :]
+            ).max(axis=1)
+            ok = (in_aff[cand] <= 1.0) & (worst <= 1.0)
+            hits = np.flatnonzero(ok)
+            if hits.size == 0:
+                break
+            hit = int(hits[0])
+        v = int(cand[hit])
+        chosen[count] = v
+        count += 1
         in_aff += a[v]
-    return np.asarray(sorted(chosen), dtype=int)
+        cand = cand[hit + 1 :]
+    return np.sort(chosen[:count])
 
 
 def random_policy(
@@ -78,8 +111,7 @@ def random_policy(
     active = backlogged[rng.random(backlogged.size) < 0.25]
     if active.size == 0:
         return active
-    in_aff = a[np.ix_(active, active)].sum(axis=0)
-    return active[in_aff <= 1.0]
+    return active[feasible_within(a, active)]
 
 
 @dataclass(frozen=True)
@@ -87,9 +119,13 @@ class StabilityResult:
     """Outcome of a queue simulation.
 
     ``mean_queue_trajectory`` samples the average queue length over time
-    (one entry per ``sample_every`` slots); ``drift`` is the least-squares
-    slope of that trajectory's second half — positive drift at rate
-    ``lambda`` marks instability.
+    (one entry per ``sample_every`` slots, over the links active at the
+    sample instant); ``drift`` is the least-squares slope of that
+    trajectory's second half — positive drift at rate ``lambda`` marks
+    instability.  In churn runs ``final_queues`` is aligned with the
+    links active at the end of the run, ``dropped`` counts packets lost
+    to departures, and ``churn_events`` the applied arrival/departure
+    batches.
     """
 
     arrival_rate: float
@@ -97,6 +133,8 @@ class StabilityResult:
     delivered: int
     final_queues: np.ndarray
     mean_queue_trajectory: np.ndarray
+    dropped: int = 0
+    churn_events: int = 0
 
     @property
     def drift(self) -> float:
@@ -126,14 +164,25 @@ def run_queue_simulation(
     power: float = 1.0,
     sample_every: int = 20,
     seed: int | np.random.Generator | None = None,
+    context: SchedulingContext | None = None,
+    churn: Sequence | None = None,
 ) -> StabilityResult:
     """Simulate Bernoulli arrivals against a scheduling policy.
 
-    Each slot: one packet arrives at each link independently with
+    Each slot: one packet arrives at each active link independently with
     probability ``arrival_rate``; the policy selects a transmission set
     from the queue state; members whose set-internal SINR constraint holds
     deliver one packet.  (Policies returning infeasible sets simply
     deliver nothing on the violated links.)
+
+    ``context`` shares precomputed matrices across calls (e.g. a rate
+    sweep): the affectance matrix is built once for the sweep, not once
+    per rate.  ``churn`` switches on the dynamic mode: a
+    :class:`~repro.dynamics.DynamicScenario` or sequence of
+    :class:`~repro.dynamics.ChurnEvent`, applied at the start of their
+    slots through a :class:`DynamicContext` (links start with empty
+    queues; departures drop their backlog, counted in ``dropped``).
+    ``links`` is then the initial link set over the substrate space.
     """
     if not 0.0 <= arrival_rate <= 1.0:
         raise SimulationError("arrival rate must be in [0, 1]")
@@ -147,25 +196,58 @@ def run_queue_simulation(
         else np.random.default_rng(seed)
     )
     powers = uniform_power(links, power)
-    a = affectance_matrix(links, powers, noise=noise, beta=beta, clip=False)
+    if context is not None:
+        check_context(context, links, noise, beta, powers)
 
-    queues = np.zeros(links.m)
+    base = (
+        context
+        if context is not None
+        else SchedulingContext(links, powers, noise=noise, beta=beta)
+    )
+    if churn is None:
+        dyn = None
+        driver = None
+        a = base.raw_affectance
+        act = np.arange(links.m)  # the active set never changes
+        queues = np.zeros(links.m)
+    else:
+        # Churn mode: the incremental context absorbs arrivals and
+        # departures in O(m) per event; the loop never rebuilds a matrix.
+        dyn = base.dynamic()
+        driver = ChurnDriver(dyn, churn, power=power)
+        a = dyn.raw_affectance  # padded; grows only if capacity doubles
+        act = dyn.active_slots
+        queues = np.zeros(dyn.capacity)
     delivered = 0
+    dropped = 0
+    applied = 0
     trajectory: list[float] = []
     for t in range(slots):
-        queues += rng.random(links.m) < arrival_rate
+        if driver is not None:
+            queues, arrived, departed, freed = driver.step_state(t, queues)
+            if arrived or departed:
+                applied += 1
+                dropped += int(freed)
+                a = dyn.raw_affectance  # capacity growth reallocates it
+            act = dyn.active_slots
+        queues[act] += rng.random(act.size) < arrival_rate
         active = np.asarray(policy(queues, a, rng), dtype=int)
         if active.size:
-            ok = a[np.ix_(active, active)].sum(axis=0) <= 1.0
-            winners = active[ok & (queues[active] > 0)]
+            winners = active[
+                feasible_within(a, active) & (queues[active] > 0)
+            ]
             queues[winners] -= 1.0
             delivered += int(winners.size)
         if t % sample_every == 0:
-            trajectory.append(float(queues.mean()))
+            trajectory.append(float(queues[act].mean()) if act.size else 0.0)
+    if driver is not None:
+        act = dyn.active_slots
     return StabilityResult(
         arrival_rate=float(arrival_rate),
         slots=slots,
         delivered=delivered,
-        final_queues=queues,
+        final_queues=queues[act] if driver is not None else queues,
         mean_queue_trajectory=np.asarray(trajectory),
+        dropped=dropped,
+        churn_events=applied,
     )

@@ -1,0 +1,211 @@
+"""Dynamic-network primitives: churn traces over a fixed decay space.
+
+Realistic wireless workloads are not static — links arrive, depart, and
+move (cf. the stochastic urban-environment line of PAPERS.md).  This
+module defines the *trace* vocabulary shared by the dynamic scenario
+builders in :mod:`repro.scenarios` and the churn-capable simulators in
+:mod:`repro.distributed`:
+
+* :class:`ChurnEvent` — a batch of arrivals/departures at a slot;
+* :class:`DynamicScenario` — a substrate space, an initial link set, and
+  a seeded event trace over a horizon;
+* :class:`ChurnDriver` — replays a trace onto a
+  :class:`~repro.algorithms.context.DynamicContext`, translating stable
+  *link ids* (birth order) into the context's reusable *slot* indices.
+
+Mobility fits the same vocabulary: every position a node will ever visit
+is a node of the substrate space, and a move is a departure of the link's
+old ``(sender, receiver)`` node pair followed by an arrival of the new
+one.  The decay space therefore never changes mid-run — only the set of
+active links does, which is exactly what the incremental context updates
+in O(m) per event.
+
+Link-id convention: the initial links carry ids ``0 .. m0-1`` (in order);
+every arrival is assigned the next id in event order.  Departures
+reference ids, so a trace is meaningful independent of the slot-reuse
+policy of the consuming context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.context import DynamicContext
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.errors import SimulationError
+
+__all__ = ["ChurnEvent", "ChurnDriver", "DynamicScenario"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """Arrivals and departures applied at the start of slot ``slot``.
+
+    ``arrivals`` are ``(sender, receiver)`` node pairs of the substrate
+    space; ``departures`` are link ids under the birth-order convention
+    of the module docstring.
+    """
+
+    slot: int
+    arrivals: tuple[tuple[int, int], ...] = ()
+    departures: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class DynamicScenario:
+    """A seeded dynamic workload: substrate, initial links, event trace."""
+
+    name: str
+    space: DecaySpace
+    initial: tuple[tuple[int, int], ...]
+    events: tuple[ChurnEvent, ...] = field(default_factory=tuple)
+    horizon: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.initial:
+            raise SimulationError(
+                f"dynamic scenario {self.name!r} needs at least one "
+                "initial link"
+            )
+        last = -1
+        for ev in self.events:
+            if ev.slot < last:
+                raise SimulationError(
+                    f"dynamic scenario {self.name!r} events must be "
+                    "sorted by slot"
+                )
+            last = ev.slot
+
+    @property
+    def m0(self) -> int:
+        """Number of initial links."""
+        return len(self.initial)
+
+    def initial_links(self) -> LinkSet:
+        """The initial links as a :class:`LinkSet` over the substrate."""
+        return LinkSet(self.space, list(self.initial))
+
+    def total_arrivals(self) -> int:
+        """Arrivals across the whole trace (excludes initial links)."""
+        return sum(len(ev.arrivals) for ev in self.events)
+
+    def total_departures(self) -> int:
+        """Departures across the whole trace."""
+        return sum(len(ev.departures) for ev in self.events)
+
+
+class ChurnDriver:
+    """Replays a churn trace onto a :class:`DynamicContext`.
+
+    The driver owns the id -> slot mapping: initial links occupy slots
+    ``0 .. m0-1`` (the context's adoption guarantee), and each arrival's
+    id maps to whatever slot the context hands out.  Departures of
+    unknown or already-departed ids raise — a trace that does so is
+    malformed, and silently skipping it would desynchronise every
+    consumer after the bad event.
+    """
+
+    def __init__(
+        self,
+        dyn: DynamicContext,
+        events,
+        *,
+        power: float = 1.0,
+    ) -> None:
+        scenario = events if hasattr(events, "events") else None
+        if scenario is not None:
+            # A trace is only meaningful against its own substrate and
+            # initial population: arrivals are node indices of
+            # ``scenario.space`` and departures reference the initial
+            # ids.  Running it against anything else would silently
+            # produce garbage affectance.
+            if scenario.space is not dyn.space and scenario.space != dyn.space:
+                raise SimulationError(
+                    f"churn trace {scenario.name!r} was built over a "
+                    "different substrate decay space than the dynamic "
+                    "context"
+                )
+            if dyn.m != scenario.m0:
+                raise SimulationError(
+                    f"churn trace {scenario.name!r} expects "
+                    f"{scenario.m0} initial links, the dynamic context "
+                    f"holds {dyn.m}"
+                )
+        events = tuple(getattr(events, "events", events))
+        self.dyn = dyn
+        self.events = events
+        self.power = float(power)
+        self._pos = 0
+        self._id_to_slot: dict[int, int] = {i: i for i in range(dyn.m)}
+        self._next_id = dyn.m
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every event has been applied."""
+        return self._pos >= len(self.events)
+
+    def step(self, t: int) -> tuple[list[int], list[int]]:
+        """Apply every event scheduled at or before slot ``t``.
+
+        Returns ``(arrived_slots, departed_slots)`` so the caller can
+        reset per-link simulation state (queues, learning weights) for
+        exactly the links that changed.  Departures within an event are
+        applied before its arrivals, so an arrival may reuse a slot freed
+        in the same event.
+        """
+        arrived: list[int] = []
+        departed: list[int] = []
+        while self._pos < len(self.events) and self.events[self._pos].slot <= t:
+            ev = self.events[self._pos]
+            self._pos += 1
+            gone: list[int] = []
+            for link_id in ev.departures:
+                slot = self._id_to_slot.pop(int(link_id), None)
+                if slot is None:
+                    raise SimulationError(
+                        f"churn event at slot {ev.slot} departs unknown "
+                        f"or already-departed link id {link_id}"
+                    )
+                gone.append(slot)
+            if gone:
+                self.dyn.remove_links(gone)
+                departed.extend(gone)
+            for sender, receiver in ev.arrivals:
+                slot = self.dyn.add_link(
+                    int(sender), int(receiver), power=self.power
+                )
+                self._id_to_slot[self._next_id] = slot
+                self._next_id += 1
+                arrived.append(slot)
+        return arrived, departed
+
+    def step_state(
+        self, t: int, state: np.ndarray
+    ) -> tuple[np.ndarray, list[int], list[int], float]:
+        """:meth:`step` plus per-slot simulation-state maintenance.
+
+        The bookkeeping every churn-capable simulator needs, kept in one
+        place: departed slots' entries are summed (returned as
+        ``reclaimed`` — e.g. packets dropped with a departing queue) and
+        zeroed, ``state`` is re-allocated to the context's capacity when
+        an arrival grew it, and arrived slots start from zero.  Returns
+        ``(state, arrived, departed, reclaimed)``.  After a step that
+        applied events, re-read any padded matrix references from the
+        context — capacity growth reallocates them.
+        """
+        arrived, departed = self.step(t)
+        reclaimed = 0.0
+        if departed:
+            idx = np.asarray(departed, dtype=int)
+            reclaimed = float(state[idx].sum())
+            state[idx] = 0.0
+        if self.dyn.capacity != state.shape[0]:
+            grown = np.zeros(self.dyn.capacity)
+            grown[: state.shape[0]] = state
+            state = grown
+        if arrived:
+            state[np.asarray(arrived, dtype=int)] = 0.0
+        return state, arrived, departed, reclaimed

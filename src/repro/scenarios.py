@@ -35,6 +35,24 @@ Built-in scenarios
     urban models of arXiv:1604.00688).  The named large-``n`` workload the
     scaled metricity and scheduling kernels are benchmarked on.
 
+Dynamic scenarios
+-----------------
+A second registry covers *dynamic* workloads: named, seeded builders
+producing a :class:`~repro.dynamics.DynamicScenario` — a substrate decay
+space, an initial link set, and a churn trace the simulators replay
+through the incremental :class:`~repro.algorithms.context.DynamicContext`.
+
+``poisson_churn``
+    Birth/death churn over a ``dense_urban`` substrate: a pool of
+    candidate links twice the active population; each event retires a
+    uniform active link and admits a uniform idle one, so the population
+    stays at ``n_links`` while its composition drifts.
+``random_waypoint``
+    Mobility: senders move toward random waypoints in epochs; every
+    position a link will ever occupy is a node of the substrate space, so
+    a move is a departure of the old ``(sender, receiver)`` pair and an
+    arrival of the new one — the decay matrix never changes mid-run.
+
 Registering a new scenario::
 
     from repro.scenarios import register_scenario
@@ -43,7 +61,9 @@ Registering a new scenario::
     def _build(n_links: int, seed: int) -> LinkSet:
         ...
 
-All builders must be deterministic in ``seed``.
+(or ``register_dynamic_scenario`` for builders returning a
+:class:`~repro.dynamics.DynamicScenario`).  All builders must be
+deterministic in ``seed``.
 """
 
 from __future__ import annotations
@@ -54,15 +74,21 @@ import numpy as np
 
 from repro.core.decay import DecaySpace
 from repro.core.links import LinkSet
+from repro.dynamics import ChurnEvent, DynamicScenario
 from repro.errors import DecaySpaceError
 from repro.geometry.environment import Environment, Wall
 
 __all__ = [
     "SCENARIOS",
+    "DYNAMIC_SCENARIOS",
     "register_scenario",
+    "register_dynamic_scenario",
     "scenario_names",
+    "dynamic_scenario_names",
     "build_scenario",
+    "build_dynamic_scenario",
     "iter_scenarios",
+    "iter_dynamic_scenarios",
 ]
 
 #: Builder signature: ``(n_links, seed, **kwargs) -> LinkSet``.
@@ -106,6 +132,59 @@ def iter_scenarios(
     """Yield ``(name, links)`` for every registered scenario."""
     for name in scenario_names():
         yield name, build_scenario(name, n_links=n_links, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Dynamic scenario registry
+# ----------------------------------------------------------------------
+#: Dynamic builder signature: ``(n_links, seed, **kwargs) -> DynamicScenario``.
+DynamicScenarioBuilder = Callable[..., DynamicScenario]
+
+#: The dynamic registry, name -> builder.
+DYNAMIC_SCENARIOS: dict[str, DynamicScenarioBuilder] = {}
+
+
+def register_dynamic_scenario(
+    name: str,
+) -> Callable[[DynamicScenarioBuilder], DynamicScenarioBuilder]:
+    """Decorator registering a dynamic builder under ``name`` (unused)."""
+
+    def decorator(builder: DynamicScenarioBuilder) -> DynamicScenarioBuilder:
+        if name in DYNAMIC_SCENARIOS:
+            raise DecaySpaceError(
+                f"dynamic scenario {name!r} is already registered"
+            )
+        DYNAMIC_SCENARIOS[name] = builder
+        return builder
+
+    return decorator
+
+
+def dynamic_scenario_names() -> tuple[str, ...]:
+    """All registered dynamic scenario names, sorted."""
+    return tuple(sorted(DYNAMIC_SCENARIOS))
+
+
+def build_dynamic_scenario(
+    name: str, n_links: int = 50, seed: int = 0, **kwargs
+) -> DynamicScenario:
+    """Build the named dynamic scenario at the given size and seed."""
+    try:
+        builder = DYNAMIC_SCENARIOS[name]
+    except KeyError:
+        raise DecaySpaceError(
+            f"unknown dynamic scenario {name!r}; registered: "
+            f"{', '.join(dynamic_scenario_names())}"
+        ) from None
+    return builder(n_links, seed, **kwargs)
+
+
+def iter_dynamic_scenarios(
+    n_links: int = 50, seed: int = 0
+) -> Iterator[tuple[str, DynamicScenario]]:
+    """Yield ``(name, scenario)`` for every registered dynamic scenario."""
+    for name in dynamic_scenario_names():
+        yield name, build_dynamic_scenario(name, n_links=n_links, seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -311,3 +390,152 @@ def dense_urban(
     np.fill_diagonal(f, 0.0)
     space = DecaySpace(f)
     return _paired_linkset(n_links, space)
+
+
+# ----------------------------------------------------------------------
+# Built-in dynamic scenarios
+# ----------------------------------------------------------------------
+@register_dynamic_scenario("poisson_churn")
+def poisson_churn(
+    n_links: int,
+    seed: int = 0,
+    horizon: int = 400,
+    churn_rate: float = 0.05,
+    pool_factor: float = 2.0,
+    substrate: str = "dense_urban",
+    **substrate_kwargs,
+) -> DynamicScenario:
+    """Birth/death link churn over a static-scenario substrate.
+
+    A pool of ``ceil(pool_factor * n_links)`` candidate links is drawn
+    from the ``substrate`` scenario (default: the large-``n``
+    ``dense_urban`` workload); the first ``n_links`` start active.  Each
+    slot, with probability ``churn_rate``, one replacement event fires: a
+    uniformly random active link departs and a uniformly random idle pool
+    link arrives — the population stays at ``n_links`` while its
+    composition drifts, the regime where incremental row/column updates
+    beat any rebuild.  Deterministic in ``seed``.
+    """
+    if horizon < 1:
+        raise DecaySpaceError("horizon must be >= 1")
+    if not 0.0 <= churn_rate <= 1.0:
+        raise DecaySpaceError("churn_rate must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    pool_size = max(n_links + 1, int(np.ceil(pool_factor * n_links)))
+    pool = build_scenario(
+        substrate, n_links=pool_size, seed=seed, **substrate_kwargs
+    )
+    pairs = [
+        (int(s), int(r)) for s, r in zip(pool.senders, pool.receivers)
+    ]
+    # (link id, pool index) of the active population; ids follow the
+    # birth-order convention of repro.dynamics.
+    active = [(i, i) for i in range(n_links)]
+    idle = list(range(n_links, pool_size))
+    next_id = n_links
+    events: list[ChurnEvent] = []
+    for t in range(horizon):
+        if rng.random() >= churn_rate:
+            continue
+        victim = int(rng.integers(len(active)))
+        vid, vpool = active.pop(victim)
+        newcomer = int(rng.integers(len(idle)))
+        npool = idle.pop(newcomer)
+        idle.append(vpool)
+        events.append(
+            ChurnEvent(
+                slot=t, arrivals=(pairs[npool],), departures=(vid,)
+            )
+        )
+        active.append((next_id, npool))
+        next_id += 1
+    return DynamicScenario(
+        name="poisson_churn",
+        space=pool.space,
+        initial=tuple(pairs[:n_links]),
+        events=tuple(events),
+        horizon=horizon,
+    )
+
+
+@register_dynamic_scenario("random_waypoint")
+def random_waypoint(
+    n_links: int,
+    seed: int = 0,
+    horizon: int = 400,
+    steps: int = 4,
+    move_fraction: float = 0.25,
+    advance: float = 0.35,
+    alpha: float = 3.0,
+) -> DynamicScenario:
+    """Random-waypoint mobility as a churn trace over a super-space.
+
+    Senders start uniform in a box (as ``planar_uniform``) and each owns
+    a waypoint; at each of ``steps`` evenly spaced epochs a
+    ``move_fraction`` subset of links advances an ``advance`` fraction of
+    the way toward its waypoint, with the receiver re-sampled at a short
+    offset from the new sender position.  Every position a link ever
+    occupies is a node of the substrate, so a move is one departure (the
+    old node pair) plus one arrival (the new pair) and the decay matrix
+    is fixed for the whole trace.  Deterministic in ``seed``.
+    """
+    if horizon < 1:
+        raise DecaySpaceError("horizon must be >= 1")
+    if steps < 1:
+        raise DecaySpaceError("steps must be >= 1")
+    if not 0.0 <= move_fraction <= 1.0:
+        raise DecaySpaceError("move_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    extent = 4.0 * np.sqrt(max(n_links, 1))
+    senders = rng.uniform(0, extent, size=(n_links, 2))
+    receivers = _receivers_near(senders, rng)
+    waypoints = rng.uniform(0, extent, size=(n_links, 2))
+    coords: list[np.ndarray] = [senders, receivers]
+    n_nodes = 2 * n_links
+    position = senders.copy()
+    # Current (sender node, receiver node, link id) per link.
+    node_s = list(range(n_links))
+    node_r = list(range(n_links, 2 * n_links))
+    cur_id = list(range(n_links))
+    next_id = n_links
+    events: list[ChurnEvent] = []
+    for e in range(steps):
+        # round() can reach horizon when horizon < steps + 1; an event
+        # at slot >= horizon would silently never be applied.
+        slot = min(int(round((e + 1) * horizon / (steps + 1))), horizon - 1)
+        movers = np.flatnonzero(rng.random(n_links) < move_fraction)
+        if movers.size == 0:
+            continue
+        new_s = position[movers] + advance * (
+            waypoints[movers] - position[movers]
+        )
+        new_r = _receivers_near(new_s, rng)
+        coords.extend([new_s, new_r])
+        arrivals: list[tuple[int, int]] = []
+        departures: list[int] = []
+        for j, i in enumerate(movers):
+            departures.append(cur_id[i])
+            s_node = n_nodes + j
+            r_node = n_nodes + movers.size + j
+            arrivals.append((s_node, r_node))
+            node_s[i], node_r[i] = s_node, r_node
+            # Arrival order fixes the new ids (birth-order convention).
+            cur_id[i] = next_id
+            next_id += 1
+        n_nodes += 2 * movers.size
+        position[movers] = new_s
+        events.append(
+            ChurnEvent(
+                slot=slot,
+                arrivals=tuple(arrivals),
+                departures=tuple(departures),
+            )
+        )
+    space = DecaySpace.from_points(np.concatenate(coords), alpha)
+    return DynamicScenario(
+        name="random_waypoint",
+        space=space,
+        initial=tuple((i, n_links + i) for i in range(n_links)),
+        events=tuple(events),
+        horizon=horizon,
+    )

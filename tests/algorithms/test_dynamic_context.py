@@ -1,0 +1,294 @@
+"""Churn-identity tests: the incremental DynamicContext is exact.
+
+The load-bearing property of the dynamic layer: after *any* sequence of
+arrivals and departures, every maintained matrix — raw and clipped
+affectance, link quasi-distances — and every derived algorithm output
+(repeated-capacity schedules, first-fit slots, capacity sets) is
+**byte-identical** to a :class:`SchedulingContext` built from scratch
+over the surviving links.  The ledger-style running sums are maintained
+by subtraction and are pinned to a fresh sum within the documented guard.
+
+Property tests drive random churn traces over three registry scenarios
+(geometric, hotspot-clustered, and asymmetric-measured spaces — the last
+exercises the asymmetric distance row/column path); unit tests cover slot
+reuse, capacity growth, validation, and the zeta-adaptive admission rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.context import DynamicContext, SchedulingContext
+from repro.core.decay import DecaySpace
+from repro.core.links import LinkSet
+from repro.errors import InfeasibleLinkError, LinkError, PowerError
+from repro.scenarios import build_scenario
+
+#: Registry scenarios the churn-identity property sweeps (>= 3, including
+#: an asymmetric space).
+IDENTITY_SCENARIOS = ("planar_uniform", "clustered", "asymmetric_measured")
+
+#: Tolerance for the subtractively maintained ledger sums (matches the
+#: per-link guard philosophy of the scheduling ledger).
+SUM_ATOL = 1e-9
+
+
+def _fresh_like(dyn: DynamicContext) -> SchedulingContext:
+    """A from-scratch context over the dynamic context's current links."""
+    act = dyn.active_slots
+    pairs = [(int(dyn.senders[s]), int(dyn.receivers[s])) for s in act]
+    return SchedulingContext(
+        LinkSet(dyn.space, pairs),
+        dyn.powers[act].copy(),
+        noise=dyn.noise,
+        beta=dyn.beta,
+    )
+
+
+def _run_churn(
+    links: LinkSet, seed: int, events: int, materialize_dist: bool
+) -> DynamicContext:
+    """Replay a random churn trace; re-adds old pairs as fresh arrivals."""
+    pairs = [(l.sender, l.receiver) for l in links]
+    m0 = max(3, links.m // 2)
+    dyn = DynamicContext(links.space, pairs[:m0])
+    if materialize_dist:
+        dyn.link_distances
+    rng = np.random.default_rng(seed)
+    alive = list(range(m0))
+    next_pair = m0
+    for _ in range(events):
+        if rng.random() < 0.5 or len(alive) <= 2:
+            s, r = pairs[next_pair % len(pairs)]
+            next_pair += 1
+            alive.append(dyn.add_link(s, r))
+        else:
+            dyn.remove_links(alive.pop(int(rng.integers(len(alive)))))
+    return dyn
+
+
+class TestChurnIdentity:
+    @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10)
+    def test_matrices_byte_identical_after_churn(self, scenario, seed):
+        links = build_scenario(scenario, n_links=12, seed=3)
+        dyn = _run_churn(links, seed, events=25, materialize_dist=True)
+        fresh = _fresh_like(dyn)
+        frozen = dyn.freeze()
+        assert np.array_equal(frozen.raw_affectance, fresh.raw_affectance)
+        assert np.array_equal(frozen.affectance, fresh.affectance)
+        assert np.array_equal(frozen.link_distances, fresh.link_distances)
+        assert frozen.zeta == fresh.zeta
+        assert np.array_equal(frozen.order, fresh.order)
+
+    @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=6)
+    def test_schedules_byte_identical_after_churn(self, scenario, seed):
+        links = build_scenario(scenario, n_links=12, seed=3)
+        dyn = _run_churn(links, seed, events=20, materialize_dist=False)
+        fresh = _fresh_like(dyn)
+        frozen = dyn.freeze()
+        for admission in ("bounded_growth", "general", "adaptive"):
+            assert frozen.repeated_capacity(
+                admission=admission
+            ) == fresh.repeated_capacity(admission=admission)
+        assert frozen.first_fit() == fresh.first_fit()
+        assert frozen.capacity_bounded_growth() == fresh.capacity_bounded_growth()
+        assert frozen.capacity_general() == fresh.capacity_general()
+
+    @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10)
+    def test_ledger_sums_track_fresh_sums(self, scenario, seed):
+        links = build_scenario(scenario, n_links=12, seed=3)
+        dyn = _run_churn(links, seed, events=25, materialize_dist=False)
+        act = dyn.active_slots
+        a = _fresh_like(dyn).affectance
+        assert np.allclose(dyn.ledger_in_sums[act], a.sum(axis=0), atol=SUM_ATOL)
+        assert np.allclose(dyn.ledger_out_sums[act], a.sum(axis=1), atol=SUM_ATOL)
+        # Free slots carry no residue that could leak into a later reuse.
+        free = np.setdiff1d(np.arange(dyn.capacity), act)
+        assert np.all(dyn.raw_affectance[free] == 0.0)
+        assert np.all(dyn.raw_affectance[:, free] == 0.0)
+
+    def test_sub_metric_space_uses_capacity_exponent(self):
+        """zeta < 1 regression: distances must clamp the exponent at 1,
+        exactly as SchedulingContext.zeta_capacity does — both in the
+        materialized matrix and in incrementally appended rows."""
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 10, size=(16, 2))
+        space = DecaySpace.from_points(pts, 0.5)
+        assert space.metricity() < 1.0
+        pairs = [(2 * i, 2 * i + 1) for i in range(8)]
+        dyn = DynamicContext(space, pairs[:5])
+        dyn.link_distances  # materialize before churn
+        for s, r in pairs[5:]:
+            dyn.add_link(s, r)
+        dyn.remove_links([1])
+        fresh = _fresh_like(dyn)
+        frozen = dyn.freeze()
+        assert frozen.zeta_capacity == 1.0
+        assert np.array_equal(frozen.link_distances, fresh.link_distances)
+        assert frozen.repeated_capacity() == fresh.repeated_capacity()
+
+    def test_distances_materialized_late_match_incremental(self):
+        """Distances requested only after churn equal maintained ones."""
+        links = build_scenario("clustered", n_links=12, seed=3)
+        eager = _run_churn(links, seed=5, events=20, materialize_dist=True)
+        lazy = _run_churn(links, seed=5, events=20, materialize_dist=False)
+        act = eager.active_slots
+        assert np.array_equal(act, lazy.active_slots)
+        ix = np.ix_(act, act)
+        assert np.array_equal(
+            eager.link_distances[ix], lazy.link_distances[ix]
+        )
+
+
+class TestDynamicContextMechanics:
+    def test_initial_links_occupy_slots_in_order(self):
+        links = build_scenario("planar_uniform", n_links=6, seed=1)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs)
+        assert dyn.m == 6
+        assert list(dyn.active_slots) == list(range(6))
+        assert np.array_equal(dyn.senders[:6], links.senders)
+
+    def test_slot_reuse_lowest_first(self):
+        links = build_scenario("planar_uniform", n_links=6, seed=1)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs)
+        dyn.remove_links([1, 4])
+        assert dyn.add_link(*pairs[1]) == 1
+        assert dyn.add_link(*pairs[4]) == 4
+        assert dyn.add_link(*pairs[0]) == 6
+
+    def test_capacity_grows_and_preserves_state(self):
+        links = build_scenario("planar_uniform", n_links=4, seed=2)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs, capacity=4)
+        before = dyn.raw_affectance[np.ix_(range(4), range(4))].copy()
+        for k in range(20):
+            dyn.add_link(*pairs[k % 4])
+        assert dyn.m == 24
+        assert dyn.capacity >= 24
+        assert np.array_equal(
+            dyn.raw_affectance[np.ix_(range(4), range(4))], before
+        )
+        fresh = _fresh_like(dyn)
+        assert np.array_equal(
+            dyn.freeze().raw_affectance, fresh.raw_affectance
+        )
+
+    def test_dynamic_view_adopts_cached_matrices(self):
+        links = build_scenario("planar_uniform", n_links=8, seed=3)
+        ctx = SchedulingContext(links)
+        ctx.raw_affectance
+        ctx.link_distances
+        dyn = ctx.dynamic()
+        act = dyn.active_slots
+        assert np.array_equal(
+            dyn.raw_affectance[np.ix_(act, act)], ctx.raw_affectance
+        )
+        assert np.array_equal(
+            dyn.link_distances[np.ix_(act, act)], ctx.link_distances
+        )
+        # Mutating the view must not disturb the source context.
+        dyn.remove_links([0])
+        assert ctx.m == 8
+        assert np.all(ctx.raw_affectance[0] == ctx.raw_affectance[0])
+
+    def test_validation_errors(self):
+        links = build_scenario("planar_uniform", n_links=4, seed=4)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs)
+        with pytest.raises(LinkError):
+            dyn.add_link(0, links.space.n + 3)
+        with pytest.raises(LinkError):
+            dyn.add_link(2, 2)
+        with pytest.raises(PowerError):
+            dyn.add_link(*pairs[0], power=-1.0)
+        with pytest.raises(LinkError):
+            dyn.remove_links([99])
+        dyn.remove_links([0])
+        with pytest.raises(LinkError):
+            dyn.remove_links([0])  # already departed
+
+    def test_noise_infeasible_arrival_rejected(self):
+        links = build_scenario("planar_uniform", n_links=4, seed=5)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(
+            links.space, pairs, noise=1e6, beta=1.0,
+            powers=1e12 * np.ones(4),
+        )
+        with pytest.raises(InfeasibleLinkError):
+            dyn.add_link(*pairs[0], power=1.0)
+
+    def test_freeze_empty_raises(self):
+        links = build_scenario("planar_uniform", n_links=3, seed=6)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs)
+        dyn.remove_links([0, 1, 2])
+        assert dyn.m == 0
+        with pytest.raises(LinkError):
+            dyn.freeze()
+
+    def test_empty_start_then_arrivals(self):
+        links = build_scenario("planar_uniform", n_links=5, seed=7)
+        dyn = DynamicContext(links.space)
+        assert dyn.m == 0
+        for l in links:
+            dyn.add_link(l.sender, l.receiver)
+        fresh = _fresh_like(dyn)
+        assert np.array_equal(dyn.freeze().raw_affectance, fresh.raw_affectance)
+
+
+class TestAdaptiveAdmission:
+    @pytest.mark.parametrize(
+        "scenario", ("corridor", "rayleigh_fading", "dense_urban")
+    )
+    def test_high_zeta_schedules_shorten(self, scenario):
+        """The ROADMAP degeneration: singleton slots become real slots."""
+        links = build_scenario(scenario, n_links=24, seed=5)
+        ctx = SchedulingContext(links)
+        bounded = ctx.repeated_capacity(admission="bounded_growth")
+        adaptive = ctx.repeated_capacity(admission="adaptive")
+        assert len(adaptive) < len(bounded)
+        # Still a partition into affectance-feasible slots.
+        assert sorted(v for s in adaptive for v in s) == list(range(24))
+        a = ctx.affectance
+        for slot in adaptive:
+            idx = np.asarray(slot, dtype=int)
+            assert np.all(a[np.ix_(idx, idx)].sum(axis=0) <= 1.0)
+
+    def test_matches_bounded_growth_on_geometric_spaces(self):
+        """Where separation works, adaptive must not change the output."""
+        links = build_scenario("planar_uniform", n_links=24, seed=5)
+        ctx = SchedulingContext(links)
+        assert ctx.repeated_capacity(
+            admission="adaptive"
+        ) == ctx.repeated_capacity(admission="bounded_growth")
+
+    def test_unknown_admission_rejected(self):
+        links = build_scenario("planar_uniform", n_links=6, seed=5)
+        with pytest.raises(LinkError):
+            SchedulingContext(links).repeated_capacity(admission="bogus")
+
+    def test_schedule_wrapper_admission_kwarg(self):
+        from repro.algorithms.capacity import capacity_bounded_growth
+        from repro.algorithms.scheduling import schedule_repeated_capacity
+
+        links = build_scenario("corridor", n_links=16, seed=6)
+        ctx = SchedulingContext(links)
+        via_wrapper = schedule_repeated_capacity(
+            links, admission="adaptive", context=ctx
+        )
+        assert via_wrapper.slots == ctx.repeated_capacity(admission="adaptive")
+        with pytest.raises(LinkError):
+            schedule_repeated_capacity(
+                links, capacity_bounded_growth, admission="adaptive"
+            )

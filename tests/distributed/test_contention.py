@@ -34,6 +34,34 @@ class TestBusyFraction:
         with pytest.raises(SimulationError):
             busy_fraction(space, 0, [1], probability=0.5, slots=0)
 
+    def test_seeded_and_deterministic(self):
+        """Like every simulation module: an int seed reproduces exactly."""
+        space = uniform_space(6, c=1.0)
+        a = busy_fraction(space, 0, [1, 2, 3, 4], 0.3, 200, seed=11)
+        b = busy_fraction(space, 0, [1, 2, 3, 4], 0.3, 200, seed=11)
+        assert a == b
+        assert 0.0 <= a <= 1.0
+        est1 = estimate_neighborhood_size(
+            space, 0, radius=1.0, probability=0.1, slots=500, seed=13
+        )
+        est2 = estimate_neighborhood_size(
+            space, 0, radius=1.0, probability=0.1, slots=500, seed=13
+        )
+        assert est1 == est2
+
+    def test_generator_seed_matches_rng_keyword(self):
+        """`seed=Generator` and the legacy `rng=` draw the same stream."""
+        space = uniform_space(5, c=1.0)
+        via_seed = busy_fraction(
+            space, 0, [1, 2, 3], 0.4, 100,
+            seed=np.random.default_rng(7),
+        )
+        via_rng = busy_fraction(
+            space, 0, [1, 2, 3], 0.4, 100,
+            rng=np.random.default_rng(7),
+        )
+        assert via_seed == via_rng
+
 
 class TestEstimate:
     def test_close_to_truth(self):

@@ -62,3 +62,64 @@ class TestRegretCapacity:
         links = make_planar_links(4, alpha=3.0, seed=1)
         result = run_regret_capacity(links, rounds=77, seed=2)
         assert result.rounds == 77
+
+    def test_shared_context_is_equivalent(self):
+        from repro.algorithms.context import SchedulingContext
+
+        links = make_planar_links(8, alpha=3.0, seed=11)
+        ctx = SchedulingContext(links)
+        plain = run_regret_capacity(links, rounds=300, seed=12)
+        shared = run_regret_capacity(links, rounds=300, seed=12, context=ctx)
+        assert plain.best_feasible == shared.best_feasible
+        assert plain.mean_successes == shared.mean_successes
+        assert np.array_equal(
+            plain.final_probabilities, shared.final_probabilities
+        )
+
+
+class TestRegretChurn:
+    def _scenario(self, seed=31, n_links=10, horizon=500):
+        from repro.scenarios import build_dynamic_scenario
+
+        return build_dynamic_scenario(
+            "poisson_churn",
+            n_links=n_links,
+            seed=seed,
+            horizon=horizon,
+            churn_rate=0.1,
+            substrate="planar_uniform",
+        )
+
+    def test_churn_run_deterministic_and_shaped(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        a = run_regret_capacity(links, rounds=scn.horizon, churn=scn, seed=32)
+        b = run_regret_capacity(links, rounds=scn.horizon, churn=scn, seed=32)
+        assert a.best_feasible == b.best_feasible
+        assert a.mean_successes == b.mean_successes
+        assert a.active_slots is not None
+        assert a.final_probabilities.shape == a.active_slots.shape
+        assert np.all(a.final_probabilities >= 0.0)
+        assert np.all(a.final_probabilities <= 1.0)
+
+    def test_churn_still_learns(self):
+        """Mid-run churn must not stop the learner from finding big sets."""
+        scn = self._scenario(horizon=800)
+        links = scn.initial_links()
+        static = run_regret_capacity(links, rounds=800, seed=33)
+        churned = run_regret_capacity(
+            links, rounds=800, churn=scn, seed=33
+        )
+        assert churned.best_size >= max(1, static.best_size // 2)
+
+    def test_mobility_trace_runs(self):
+        from repro.scenarios import build_dynamic_scenario
+
+        scn = build_dynamic_scenario(
+            "random_waypoint", n_links=8, seed=34, horizon=300
+        )
+        links = scn.initial_links()
+        res = run_regret_capacity(links, rounds=300, churn=scn, seed=35)
+        assert res.active_slots is not None
+        assert len(res.active_slots) == 8
+        assert res.best_size >= 1

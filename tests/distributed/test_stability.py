@@ -5,14 +5,36 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.algorithms.context import SchedulingContext
 from repro.algorithms.scheduling import schedule_first_fit
 from repro.distributed.stability import (
     lqf_policy,
     random_policy,
     run_queue_simulation,
 )
-from repro.errors import SimulationError
+from repro.errors import LinkError, SimulationError
+from repro.scenarios import build_dynamic_scenario
 from tests.conftest import make_planar_links
+
+
+def _lqf_reference(
+    queues: np.ndarray, a: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Verbatim copy of the historical one-candidate-at-a-time LQF loop."""
+    order = np.argsort(-queues, kind="stable")
+    chosen: list[int] = []
+    in_aff = np.zeros(queues.shape[0])
+    for v in order:
+        v = int(v)
+        if queues[v] <= 0:
+            break
+        if in_aff[v] > 1.0:
+            continue
+        if chosen and np.any(in_aff[chosen] + a[v, chosen] > 1.0):
+            continue
+        chosen.append(v)
+        in_aff += a[v]
+    return np.asarray(sorted(chosen), dtype=int)
 
 
 class TestPolicies:
@@ -38,6 +60,23 @@ class TestPolicies:
         queues = np.ones(10) * 3.0
         chosen = lqf_policy(queues, a, np.random.default_rng(2))
         assert is_feasible(links, list(chosen), powers)
+
+    def test_lqf_vectorized_matches_historical_loop(self):
+        """The per-admission batching must not change a single decision."""
+        from repro.core.affectance import affectance_matrix
+        from repro.core.power import uniform_power
+
+        rng = np.random.default_rng(17)
+        for _ in range(60):
+            m = int(rng.integers(2, 25))
+            links = make_planar_links(
+                m, alpha=3.0, seed=int(rng.integers(1 << 30)), extent=8.0
+            )
+            a = affectance_matrix(links, uniform_power(links), clip=False)
+            queues = np.floor(rng.random(m) * 4)
+            got = lqf_policy(queues, a, rng)
+            want = _lqf_reference(queues, a, rng)
+            assert np.array_equal(got, want)
 
     def test_random_policy_subset_of_backlogged(self):
         links = make_planar_links(8, alpha=3.0, seed=3)
@@ -103,3 +142,81 @@ class TestSimulation:
             run_queue_simulation(links, 0.5, 0)
         with pytest.raises(SimulationError):
             run_queue_simulation(links, 0.5, 100, sample_every=0)
+
+    def test_shared_context_is_equivalent_and_checked(self):
+        links = make_planar_links(6, alpha=3.0, seed=16)
+        ctx = SchedulingContext(links)
+        plain = run_queue_simulation(links, 0.2, 400, seed=17)
+        shared = run_queue_simulation(links, 0.2, 400, seed=17, context=ctx)
+        assert plain.delivered == shared.delivered
+        assert np.array_equal(plain.final_queues, shared.final_queues)
+        other = make_planar_links(6, alpha=3.0, seed=99)
+        with pytest.raises(LinkError):
+            run_queue_simulation(
+                links, 0.2, 50, seed=17, context=SchedulingContext(other)
+            )
+
+
+class TestChurnMode:
+    def _scenario(self, seed=21, n_links=10, horizon=600):
+        return build_dynamic_scenario(
+            "poisson_churn",
+            n_links=n_links,
+            seed=seed,
+            horizon=horizon,
+            churn_rate=0.1,
+            substrate="planar_uniform",
+        )
+
+    def test_churn_run_is_deterministic(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        a = run_queue_simulation(links, 0.1, scn.horizon, churn=scn, seed=22)
+        b = run_queue_simulation(links, 0.1, scn.horizon, churn=scn, seed=22)
+        assert a.delivered == b.delivered
+        assert a.dropped == b.dropped
+        assert np.array_equal(a.final_queues, b.final_queues)
+        assert np.array_equal(
+            a.mean_queue_trajectory, b.mean_queue_trajectory
+        )
+
+    def test_churn_applies_events_and_reports(self):
+        scn = self._scenario()
+        assert len(scn.events) > 0
+        links = scn.initial_links()
+        res = run_queue_simulation(links, 0.3, scn.horizon, churn=scn, seed=23)
+        assert res.churn_events > 0
+        assert res.final_queues.shape == (scn.m0,)  # population preserved
+        assert res.delivered > 0
+
+    def test_churn_stable_at_low_load(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        rate = 0.4 / schedule_first_fit(links).length
+        res = run_queue_simulation(
+            links, rate, scn.horizon, churn=scn, seed=24
+        )
+        assert res.drift < 0.1
+
+    def test_mobility_trace_runs(self):
+        scn = build_dynamic_scenario(
+            "random_waypoint", n_links=8, seed=25, horizon=400
+        )
+        links = scn.initial_links()
+        res = run_queue_simulation(links, 0.1, scn.horizon, churn=scn, seed=26)
+        assert res.churn_events == len(scn.events)
+        assert res.final_queues.shape == (8,)  # moves preserve population
+
+    def test_event_list_accepted_directly(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        via_scenario = run_queue_simulation(
+            links, 0.2, scn.horizon, churn=scn, seed=27
+        )
+        via_events = run_queue_simulation(
+            links, 0.2, scn.horizon, churn=scn.events, seed=27
+        )
+        assert via_scenario.delivered == via_events.delivered
+        assert np.array_equal(
+            via_scenario.final_queues, via_events.final_queues
+        )

@@ -156,14 +156,21 @@ class TestE10Relations:
 class TestE12E13Distributed:
     def test_local_broadcast_completes(self):
         table = local_broadcast_table(
-            trials=1, seed=9, max_slots=12000, n_nodes=9
+            trials=1, seed=9, max_slots=12000, n_nodes=10
         )
         assert all(table.column("completed"))
         assert len(table.rows) == 4
+        # Registry-driven: the rows are scenario names.
+        assert "corridor" in table.column("space")
 
     def test_regret_capacity_positive(self):
         table = regret_capacity_table(
-            alphas=(3.0,), n_links=8, rounds=300, seed=10
+            scenarios=("planar_uniform",),
+            dynamic=("poisson_churn",),
+            n_links=8,
+            rounds=300,
+            seed=10,
         )
-        for frac in table.column("best/OPT"):
+        assert table.column("scenario") == ["planar_uniform", "poisson_churn"]
+        for frac in table.column("best/centralized"):
             assert frac >= 0.5

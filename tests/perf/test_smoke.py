@@ -28,7 +28,9 @@ from repro.algorithms.context import SchedulingContext
 from repro.algorithms.scheduling import schedule_first_fit, schedule_repeated_capacity
 from repro.core.decay import DecaySpace
 from repro.core.metricity import metricity
-from repro.scenarios import build_scenario
+from repro.distributed.regret_capacity import run_regret_capacity
+from repro.distributed.stability import run_queue_simulation
+from repro.scenarios import build_dynamic_scenario, build_scenario
 from tests.conftest import make_planar_links
 
 #: Wall-clock budgets (seconds).  Seed implementation: ~4 s each.
@@ -42,6 +44,16 @@ SCHEDULE_BUDGET = 2.0
 METRICITY_N2000_BUDGET = 75.0
 SCHEDULE_M500_BUDGET = 45.0
 FIRST_FIT_M500_BUDGET = 5.0
+
+#: Distributed-simulation tier (PR-3): m=500 dense_urban runs over a
+#: shared context.  Observed on a busy-VM core: ~1.7 s for an 800-slot
+#: LQF stability run, ~0.8 s for 800 MWU rounds, ~3.5 s for the churn
+#: run including the dynamic-scenario build.  The budgets catch a
+#: regression to per-slot Python admission loops or per-call matrix
+#: rebuilds (which alone would add ~2 ms x slots).
+STABILITY_M500_BUDGET = 30.0
+REGRET_M500_BUDGET = 20.0
+CHURN_M500_BUDGET = 35.0
 
 
 def test_metricity_n300_under_budget():
@@ -113,3 +125,43 @@ def test_first_fit_m500_stays_fast():
     elapsed = time.perf_counter() - start
     assert schedule.all_links() == tuple(range(500))
     assert elapsed < FIRST_FIT_M500_BUDGET, f"first fit m=500 took {elapsed:.2f}s"
+
+
+def test_stability_m500_under_budget():
+    """800 LQF slots at m=500 on a shared context (no loop rebuilds)."""
+    links = build_scenario("dense_urban", n_links=500, seed=2)
+    ctx = SchedulingContext(links)
+    rate = 0.5 / schedule_first_fit(links, context=ctx).length
+    start = time.perf_counter()
+    result = run_queue_simulation(links, rate, 800, seed=3, context=ctx)
+    elapsed = time.perf_counter() - start
+    assert result.delivered > 0
+    assert elapsed < STABILITY_M500_BUDGET, (
+        f"stability m=500 took {elapsed:.2f}s"
+    )
+
+
+def test_regret_m500_under_budget():
+    """800 MWU rounds at m=500 on a shared context."""
+    links = build_scenario("dense_urban", n_links=500, seed=2)
+    ctx = SchedulingContext(links)
+    start = time.perf_counter()
+    result = run_regret_capacity(links, rounds=800, seed=4, context=ctx)
+    elapsed = time.perf_counter() - start
+    assert result.best_size >= 1
+    assert elapsed < REGRET_M500_BUDGET, f"regret m=500 took {elapsed:.2f}s"
+
+
+def test_churn_m500_under_budget():
+    """m=500 churn run: scenario build + O(m)-per-event incremental sim."""
+    start = time.perf_counter()
+    scenario = build_dynamic_scenario(
+        "poisson_churn", n_links=500, seed=5, horizon=800
+    )
+    links = scenario.initial_links()
+    result = run_queue_simulation(
+        links, 0.1, 800, seed=6, churn=scenario
+    )
+    elapsed = time.perf_counter() - start
+    assert result.churn_events > 0
+    assert elapsed < CHURN_M500_BUDGET, f"churn m=500 took {elapsed:.2f}s"

@@ -19,10 +19,16 @@ from repro.core.feasibility import is_feasible
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
 from repro.errors import DecaySpaceError
+from repro.dynamics import DynamicScenario
 from repro.scenarios import (
+    DYNAMIC_SCENARIOS,
     SCENARIOS,
+    build_dynamic_scenario,
     build_scenario,
+    dynamic_scenario_names,
+    iter_dynamic_scenarios,
     iter_scenarios,
+    register_dynamic_scenario,
     register_scenario,
     scenario_names,
 )
@@ -34,6 +40,8 @@ EXPECTED = {
     "asymmetric_measured",
     "rayleigh_fading",
 }
+
+EXPECTED_DYNAMIC = {"poisson_churn", "random_waypoint"}
 
 
 class TestRegistry:
@@ -130,3 +138,87 @@ def test_scenarios_work_with_shared_context():
         slots = ctx.repeated_capacity()
         assert tuple(sorted(v for s in slots for v in s)) == tuple(range(10))
         assert all(ctx.is_feasible(s) for s in slots)
+
+
+class TestDynamicRegistry:
+    def test_builtin_dynamic_scenarios_registered(self):
+        assert EXPECTED_DYNAMIC <= set(dynamic_scenario_names())
+
+    def test_unknown_dynamic_scenario_rejected(self):
+        with pytest.raises(DecaySpaceError, match="unknown dynamic scenario"):
+            build_dynamic_scenario("definitely_not_registered")
+
+    def test_duplicate_dynamic_registration_rejected(self):
+        with pytest.raises(DecaySpaceError, match="already registered"):
+            register_dynamic_scenario("poisson_churn")(
+                DYNAMIC_SCENARIOS["poisson_churn"]
+            )
+
+    def test_iter_dynamic_scenarios_covers_registry(self):
+        seen = [
+            name
+            for name, scn in iter_dynamic_scenarios(n_links=5, seed=0)
+        ]
+        assert set(seen) == set(dynamic_scenario_names())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_DYNAMIC))
+class TestEachDynamicScenario:
+    def test_builds_valid_scenario(self, name):
+        scn = build_dynamic_scenario(name, n_links=10, seed=5)
+        assert isinstance(scn, DynamicScenario)
+        assert scn.m0 == 10
+        assert scn.horizon >= 1
+        assert len(scn.events) >= 1
+        assert all(ev.slot < scn.horizon for ev in scn.events)
+        assert scn.initial_links().m == 10
+
+    def test_deterministic_in_seed(self, name):
+        a = build_dynamic_scenario(name, n_links=8, seed=7)
+        b = build_dynamic_scenario(name, n_links=8, seed=7)
+        c = build_dynamic_scenario(name, n_links=8, seed=8)
+        assert np.array_equal(a.space.f, b.space.f)
+        assert a.initial == b.initial
+        assert a.events == b.events
+        assert (
+            not np.array_equal(a.space.f, c.space.f)
+            or a.events != c.events
+        )
+
+    def test_trace_replays_through_dynamic_context(self, name):
+        """Every trace must be consumable end to end by a ChurnDriver."""
+        from repro.algorithms.context import DynamicContext
+        from repro.dynamics import ChurnDriver
+
+        scn = build_dynamic_scenario(name, n_links=8, seed=9)
+        dyn = DynamicContext(scn.space, list(scn.initial))
+        driver = ChurnDriver(dyn, scn)
+        driver.step(scn.horizon)
+        assert driver.exhausted
+        assert dyn.m >= 1
+
+
+class TestDynamicScenarioShapes:
+    def test_poisson_churn_preserves_population(self):
+        scn = build_dynamic_scenario(
+            "poisson_churn", n_links=10, seed=3, churn_rate=0.3
+        )
+        for ev in scn.events:
+            assert len(ev.arrivals) == len(ev.departures) == 1
+        assert scn.total_arrivals() == scn.total_departures()
+
+    def test_random_waypoint_moves_are_paired(self):
+        scn = build_dynamic_scenario(
+            "random_waypoint", n_links=10, seed=3, steps=3,
+            move_fraction=0.5,
+        )
+        for ev in scn.events:
+            assert len(ev.arrivals) == len(ev.departures)
+        # The super-space holds initial plus per-move positions.
+        assert scn.space.n == 2 * 10 + 2 * scn.total_arrivals()
+
+    def test_substrate_passthrough(self):
+        scn = build_dynamic_scenario(
+            "poisson_churn", n_links=6, seed=2, substrate="clustered"
+        )
+        assert scn.m0 == 6
