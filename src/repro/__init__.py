@@ -40,6 +40,7 @@ Subpackages
 from repro.algorithms import (
     CapacityResult,
     DynamicContext,
+    OnlineRepairScheduler,
     Schedule,
     SchedulingContext,
     amicable_subset,
@@ -106,6 +107,7 @@ __all__ = [
     "Link",
     "LinkSet",
     "MeasurementModel",
+    "OnlineRepairScheduler",
     "Schedule",
     "SchedulingContext",
     "SpaceReport",

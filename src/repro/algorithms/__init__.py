@@ -34,6 +34,7 @@ from repro.algorithms.conflict_graph import (
     exact_independent_set,
     greedy_independent_set,
 )
+from repro.algorithms.repair import OnlineRepairScheduler, RepairStats
 from repro.algorithms.partition import (
     lemma_b2_separation,
     partition_eta_separated,
@@ -51,6 +52,8 @@ __all__ = [
     "CapacityResult",
     "DynamicContext",
     "OPT_LIMIT",
+    "OnlineRepairScheduler",
+    "RepairStats",
     "Schedule",
     "SchedulingContext",
     "affectance_conflict_graph",

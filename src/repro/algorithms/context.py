@@ -867,108 +867,185 @@ class DynamicContext:
     def add_link(
         self, sender: int, receiver: int, power: float = 1.0
     ) -> int:
-        """Admit a link; returns the slot index it will occupy.
+        """Admit one link; returns the slot index it will occupy.
 
-        O(m): the new link's affectance row/column (and distance
-        row/column when distances are materialized) are computed against
-        the active set with the exact elementwise formulas of the batch
-        builders, and the ledger sums absorb them.
+        A batch of one through :meth:`add_links` — there is exactly one
+        implementation of the arrival formulas.  O(m): the new link's
+        affectance row/column (and distance row/column when distances
+        are materialized) are computed against the active set with the
+        exact elementwise expressions of the batch builders, and the
+        ledger sums absorb them.
         """
-        link = Link(int(sender), int(receiver))
-        if max(link.sender, link.receiver) >= self._space.n:
+        return self.add_links([(int(sender), int(receiver))], powers=power)[0]
+
+    def add_links(
+        self,
+        links: Iterable[Link | tuple[int, int]],
+        powers: np.ndarray | Sequence[float] | float | None = None,
+    ) -> list[int]:
+        """Admit a batch of links; returns the slot index of each.
+
+        The multi-arrival fast path: instead of one O(m) row/column pass
+        per link, the whole batch's affectance (and distance) blocks —
+        new-versus-active and new-versus-new — are computed as single
+        vectorized broadcasts.  Batching is **byte-identical** to
+        admitting the same pairs one at a time (a sequence of singleton
+        batches, i.e. :meth:`add_link` calls): the same slots are
+        assigned (lowest free first, capacity doubling on demand), every
+        matrix entry is produced by the same elementwise IEEE expression,
+        and the ledger sums absorb the new rows/columns in the same
+        accumulation order.  The test suite pins this.
+
+        ``powers`` is a scalar applied to every arrival (default 1.0) or
+        a per-arrival sequence.  Unlike a sequential loop, validation is
+        atomic: every pair and power is checked *before* any state
+        mutates, so a bad arrival in the middle of a batch leaves the
+        context untouched.
+        """
+        pairs = [
+            l if isinstance(l, Link) else Link(int(l[0]), int(l[1]))
+            for l in links
+        ]
+        k = len(pairs)
+        if k == 0:
+            return []
+        s_new = np.array([l.sender for l in pairs], dtype=int)
+        r_new = np.array([l.receiver for l in pairs], dtype=int)
+        hi = max(int(s_new.max()), int(r_new.max()))
+        if hi >= self._space.n:
             raise LinkError(
-                f"link endpoint {max(link.sender, link.receiver)} out of "
-                f"range for a {self._space.n}-node space"
+                f"link endpoint {hi} out of range for a "
+                f"{self._space.n}-node space"
             )
-        p_new = float(power)
-        if not np.isfinite(p_new) or p_new <= 0:
+        if powers is None:
+            p_new = np.ones(k)
+        else:
+            p_new = np.asarray(powers, dtype=float)
+            if p_new.ndim == 0:
+                p_new = np.full(k, float(p_new))
+            elif p_new.shape != (k,):
+                raise PowerError(
+                    f"power vector must be a scalar or have shape ({k},)"
+                )
+        if not np.all(np.isfinite(p_new)) or np.any(p_new <= 0):
             raise PowerError("powers must be positive and finite")
         f = self._space.f
-        length = float(f[link.sender, link.receiver])
-        # Same scalar expression as core.affectance.noise_constants.
-        slack = 1.0 - self._beta * self._noise * length / p_new
-        if slack <= 0:
+        l_new = f[s_new, r_new]
+        # Same scalar expression as add_link / noise_constants, batched.
+        slack = 1.0 - self._beta * self._noise * l_new / p_new
+        if np.any(slack <= 0):
+            bad = int(np.argmin(slack))
             raise InfeasibleLinkError(
-                f"arriving link ({link.sender}, {link.receiver}) cannot "
-                f"overcome ambient noise: P/f_vv = {p_new / length:.4g} <= "
-                f"beta*N = {self._beta * self._noise:.4g}"
+                f"arriving link ({pairs[bad].sender}, {pairs[bad].receiver}) "
+                f"cannot overcome ambient noise: P/f_vv = "
+                f"{p_new[bad] / l_new[bad]:.4g} <= beta*N = "
+                f"{self._beta * self._noise:.4g}"
             )
         c_new = self._beta / slack
-        if not self._free:
+        # Capacity evolves exactly as k sequential adds would: double
+        # whenever the free list runs dry (so slot indices never move).
+        while self._capacity - self._count < k:
             self._grow(self._capacity + 1)
         act = self.active_slots
-        slot = heapq.heappop(self._free)
-        # Affectance row (new acting on active) and column (active acting
-        # on new): per element, (c_v * (P_u / P_v)) * (f_vv / f_uv) — the
-        # exact association order of the batch affectance_matrix kernel.
-        if act.size:
-            p_act = self._powers[act]
-            c_act = self._c[act]
-            l_act = self._lengths[act]
-            with np.errstate(divide="ignore"):
-                row = (
-                    c_act
-                    * (p_new / p_act)
-                    * (l_act / f[link.sender, self._receivers[act]])
+        slots = [heapq.heappop(self._free) for _ in range(k)]
+        sl = np.asarray(slots, dtype=int)
+        # Affectance blocks, per element the exact association order of
+        # add_link: (c_v * (P_u / P_v)) * (f_vv / f_uv).
+        with np.errstate(divide="ignore"):
+            if act.size:
+                p_act = self._powers[act]
+                c_act = self._c[act]
+                l_act = self._lengths[act]
+                rows = (
+                    c_act[None, :]
+                    * (p_new[:, None] / p_act[None, :])
+                    * (l_act[None, :] / f[np.ix_(s_new, self._receivers[act])])
                 )
-                col = (
-                    c_new
-                    * (p_act / p_new)
-                    * (length / f[self._senders[act], link.receiver])
+                cols = (
+                    c_new[None, :]
+                    * (p_act[:, None] / p_new[None, :])
+                    * (l_new[None, :] / f[np.ix_(self._senders[act], r_new)])
                 )
-            self._a_raw[slot, act] = row
-            self._a_raw[act, slot] = col
-            clip_row = np.minimum(row, 1.0)
-            clip_col = np.minimum(col, 1.0)
-            self._a_clip[slot, act] = clip_row
-            self._a_clip[act, slot] = clip_col
+                self._a_raw[np.ix_(sl, act)] = rows
+                self._a_raw[np.ix_(act, sl)] = cols
+                self._a_clip[np.ix_(sl, act)] = np.minimum(rows, 1.0)
+                self._a_clip[np.ix_(act, sl)] = np.minimum(cols, 1.0)
+            if k > 1:
+                # New-versus-new block: when added sequentially, link j
+                # sees every earlier batch member as active — the same
+                # elementwise formula fills the whole block at once.
+                block = (
+                    c_new[None, :]
+                    * (p_new[:, None] / p_new[None, :])
+                    * (l_new[None, :] / f[np.ix_(s_new, r_new)])
+                )
+                np.fill_diagonal(block, 0.0)
+                self._a_raw[np.ix_(sl, sl)] = block
+                self._a_clip[np.ix_(sl, sl)] = np.minimum(block, 1.0)
+        # Ledger sums in the exact per-arrival accumulation order of
+        # add_link (gathering the just-written clipped entries), so the
+        # running sums match a sequential replay bit for bit.
+        for i, slot in enumerate(slots):
+            act_i = np.sort(np.concatenate([act, sl[:i]])) if i else act
+            clip_row = self._a_clip[slot, act_i]
+            clip_col = self._a_clip[act_i, slot]
             self._in_sum[slot] = clip_col.sum()
             self._out_sum[slot] = clip_row.sum()
-            self._in_sum[act] += clip_row
-            self._out_sum[act] += clip_col
-        else:
-            self._in_sum[slot] = 0.0
-            self._out_sum[slot] = 0.0
-        self._senders[slot] = link.sender
-        self._receivers[slot] = link.receiver
-        self._powers[slot] = p_new
-        self._lengths[slot] = length
-        self._c[slot] = c_new
+            self._in_sum[act_i] += clip_row
+            self._out_sum[act_i] += clip_col
+        self._senders[sl] = s_new
+        self._receivers[sl] = r_new
+        self._powers[sl] = p_new
+        self._lengths[sl] = l_new
+        self._c[sl] = c_new
         if self._dist is not None:
-            self._update_dist(slot, act, link, length)
-        self._active[slot] = True
-        self._count += 1
-        return slot
+            self._update_dist_block(sl, act, s_new, r_new, l_new)
+        self._active[sl] = True
+        self._count += k
+        return slots
 
-    def _update_dist(
-        self, slot: int, act: np.ndarray, link: Link, length: float
+    def _update_dist_block(
+        self,
+        sl: np.ndarray,
+        act: np.ndarray,
+        s_new: np.ndarray,
+        r_new: np.ndarray,
+        l_new: np.ndarray,
     ) -> None:
-        """Distance row/col for an arrival (O(m); exact per element)."""
+        """Distance blocks for a batch arrival (exact per element).
+
+        The blocked form of :meth:`_update_dist`: every entry is the same
+        four-candidate endpoint minimum evaluated through the same ufunc
+        power loop, so batched and sequential arrivals produce identical
+        distance matrices.
+        """
         inv = 1.0 / self.zeta_capacity
         f = self._space.f
-        # Through the ufunc loop, not Python's scalar pow — the two can
-        # differ by an ulp, and the batch kernel uses the ufunc.
-        self._dist[slot, slot] = np.power(
-            np.asarray([length]), inv
-        )[0]
-        if not act.size:
-            return
-        s_act = self._senders[act]
-        r_act = self._receivers[act]
-        # The four endpoint candidates of core.separation, per element:
-        # min(min(d(s_v, r_w), d(s_w, r_v)), min(d(s_v, s_w), d(r_v, r_w))).
-        sr = f[link.sender, r_act] ** inv  # d(s_new, r_w)
-        rs = f[s_act, link.receiver] ** inv  # d(s_w, r_new)
-        ss_fwd = f[link.sender, s_act] ** inv  # d(s_new, s_w)
-        ss_bwd = f[s_act, link.sender] ** inv  # d(s_w, s_new)
-        rr_fwd = f[link.receiver, r_act] ** inv  # d(r_new, r_w)
-        rr_bwd = f[r_act, link.receiver] ** inv  # d(r_w, r_new)
-        self._dist[slot, act] = np.minimum(
-            np.minimum(sr, rs), np.minimum(ss_fwd, rr_fwd)
-        )
-        self._dist[act, slot] = np.minimum(
-            np.minimum(rs, sr), np.minimum(ss_bwd, rr_bwd)
-        )
+        self._dist[sl, sl] = np.power(l_new, inv)
+        if act.size:
+            s_act = self._senders[act]
+            r_act = self._receivers[act]
+            sr = f[np.ix_(s_new, r_act)] ** inv  # d(s_new, r_w)
+            rs = f[np.ix_(s_act, r_new)] ** inv  # d(s_w, r_new)
+            ss_fwd = f[np.ix_(s_new, s_act)] ** inv
+            ss_bwd = f[np.ix_(s_act, s_new)] ** inv
+            rr_fwd = f[np.ix_(r_new, r_act)] ** inv
+            rr_bwd = f[np.ix_(r_act, r_new)] ** inv
+            self._dist[np.ix_(sl, act)] = np.minimum(
+                np.minimum(sr, rs.T), np.minimum(ss_fwd, rr_fwd)
+            )
+            self._dist[np.ix_(act, sl)] = np.minimum(
+                np.minimum(rs, sr.T), np.minimum(ss_bwd, rr_bwd)
+            )
+        if sl.size > 1:
+            sr_nn = f[np.ix_(s_new, r_new)] ** inv
+            ss_nn = f[np.ix_(s_new, s_new)] ** inv
+            rr_nn = f[np.ix_(r_new, r_new)] ** inv
+            block = np.minimum(
+                np.minimum(sr_nn, sr_nn.T), np.minimum(ss_nn, rr_nn)
+            )
+            np.fill_diagonal(block, np.power(l_new, inv))
+            self._dist[np.ix_(sl, sl)] = block
 
     def remove_links(self, slots: Iterable[int] | int) -> None:
         """Retire links by slot index; their slots become reusable.

@@ -1,0 +1,403 @@
+"""Online schedule repair under churn: keep a feasible slot assignment alive.
+
+The ROADMAP's online-scheduler north star: every consumer of the
+incremental :class:`~repro.algorithms.context.DynamicContext` so far
+still *rescheduled from scratch* after each churn event — an O(m)
+matrix update followed by an O(m * slots) rebuild.  The
+:class:`OnlineRepairScheduler` closes that gap.  It maintains a
+partition of the context's active links into affectance-feasible slots
+(the same exact feasibility rule as
+:meth:`~repro.algorithms.context.SchedulingContext.first_fit`) and
+repairs it *locally* per event:
+
+* **departures** are O(1) bookkeeping per link — the departed link is
+  dropped from its slot's member set, and the slot's ledger (its running
+  in-affectance sums) is simply marked stale.  Removing a link can never
+  break feasibility, and the context has already zeroed the departed
+  rows, so the ledger is recomputed exactly — one vectorized row sum —
+  the next time the slot is probed.
+* **arrivals** are greedily placed into the first existing slot that
+  stays feasible with them added.  Each probe is two vectorized
+  comparisons against the slot's ledger sums (the arrival's in-affectance
+  from the slot, and every member's load with the arrival's row added);
+  a new slot is opened only when every existing slot rejects the link.
+* an optional **bounded cascade** (``cascade=``): when no slot admits an
+  arrival directly, evict the *cheapest* single conflicting link (the
+  shortest one, ties by slot index) whose removal makes some existing
+  slot feasible for the arrival, place the arrival there, and re-place
+  the evicted link with the remaining cascade budget.  An evicted link
+  can never cycle back into the slot it left (that slot now provably
+  rejects it), so the cascade terminates within its budget.
+
+``rebuild_every=k`` re-anchors the schedule with a from-scratch
+first-fit over the current active set every ``k``-th event (rebuilds run
+off the maintained padded matrices — no affectance rebuild ever
+happens).  ``rebuild_every=1`` therefore *is* the per-event-rebuild
+baseline that repair is benchmarked against, and
+:meth:`competitive_ratio` reports how many more slots the repaired
+schedule uses than a fresh rebuild would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.context import DynamicContext, Schedule
+from repro.core.affectance import in_affectances_within
+from repro.errors import LinkError
+
+__all__ = ["OnlineRepairScheduler", "RepairStats"]
+
+
+@dataclass
+class RepairStats:
+    """Cumulative repair-activity counters since construction.
+
+    ``events`` counts applied churn batches, ``placements`` arrivals
+    placed by local repair, ``departures`` scheduled links dropped (net
+    of batch-internal arrive-then-depart churn), ``opened`` new slots
+    opened because no existing slot could take an arrival, ``evictions``
+    cascade evictions, and ``rebuilds`` full re-anchors triggered by
+    ``rebuild_every`` (the initial anchor is not counted).  Counters are
+    never reset — a rebuild re-anchors the schedule, not the history.
+    """
+
+    events: int = 0
+    placements: int = 0
+    departures: int = 0
+    opened: int = 0
+    evictions: int = 0
+    rebuilds: int = 0
+
+
+class OnlineRepairScheduler:
+    """Maintain a feasible schedule over a :class:`DynamicContext`.
+
+    Parameters
+    ----------
+    dyn:
+        The dynamic context whose active links are scheduled.  The
+        scheduler reads the padded raw-affectance matrix and never
+        mutates the context; churn must be applied to the context first
+        (``dyn.add_links`` / ``dyn.remove_links`` or a
+        :class:`~repro.dynamics.ChurnDriver`) and then reported here via
+        :meth:`apply`.
+    cascade:
+        Maximum eviction-cascade depth per arrival (0 disables
+        evictions; each eviction spends one unit of the arrival's
+        budget).
+    rebuild_every:
+        Re-anchor with a from-scratch first-fit every this many events
+        (``None``: never — pure repair).
+
+    The maintained invariant, pinned by the test suite: after any churn
+    sequence, every slot satisfies the exact feasibility rule
+    ``a_S(v) <= 1`` for all members ``v`` — the same check a
+    from-scratch :class:`~repro.algorithms.context.SchedulingContext`
+    applies (:func:`repro.core.affectance.feasible_within`).
+    """
+
+    def __init__(
+        self,
+        dyn: DynamicContext,
+        *,
+        cascade: int = 1,
+        rebuild_every: int | None = None,
+    ) -> None:
+        if cascade < 0:
+            raise LinkError(f"cascade depth must be >= 0, got {cascade}")
+        if rebuild_every is not None and rebuild_every < 1:
+            raise LinkError(
+                f"rebuild_every must be >= 1 or None, got {rebuild_every}"
+            )
+        self.dyn = dyn
+        self.cascade = int(cascade)
+        self.rebuild_every = rebuild_every
+        self.stats = RepairStats()
+        #: Schedule slots as sets of context slot indices (may be empty —
+        #: an emptied slot is reused by the next arrival that fits it).
+        self._members: list[set[int]] = []
+        #: Per schedule slot, the running in-affectance sums a_slot(v)
+        #: over all context slots, or None when stale (departure since
+        #: last probe) — recomputed exactly from the padded matrix on
+        #: the next probe, because departed rows are already zeroed.
+        self._in_sum: list[np.ndarray | None] = []
+        self._slot_of: dict[int, int] = {}
+        self._compiled: tuple[np.ndarray, ...] | None = None
+        self._install(self._first_fit())
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Number of non-empty slots in the maintained schedule."""
+        return sum(1 for s in self._members if s)
+
+    @property
+    def schedule(self) -> Schedule:
+        """The maintained schedule (non-empty slots, members sorted)."""
+        return Schedule(
+            tuple(tuple(sorted(s)) for s in self._members if s)
+        )
+
+    @property
+    def active_schedule(self) -> tuple[np.ndarray, ...]:
+        """Non-empty slots as sorted index arrays (cached between events).
+
+        The TDMA consumer's view: ``active_schedule[t % len]`` is the
+        transmission set of simulation slot ``t``.
+        """
+        if self._compiled is None:
+            self._compiled = tuple(
+                np.sort(np.fromiter(s, dtype=int))
+                for s in self._members
+                if s
+            )
+        return self._compiled
+
+    def competitive_ratio(self) -> float:
+        """Current slots over a from-scratch first-fit's slots (>= 1.0
+        up to first-fit's own order sensitivity; 1.0 means repair has
+        lost nothing to a full rebuild).  Read-only: the maintained
+        schedule is not touched."""
+        rebuilt = len(self._first_fit())
+        return self.slot_count / max(rebuilt, 1)
+
+    def check(self) -> bool:
+        """Exact feasibility of every slot against the current matrix."""
+        a = self.dyn.raw_affectance
+        return all(
+            bool(np.all(in_affectances_within(a, slot) <= 1.0))
+            for slot in self.active_schedule
+        )
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(
+        self, arrived: Sequence[int], departed: Sequence[int]
+    ) -> None:
+        """Repair after one churn batch already applied to the context.
+
+        ``arrived``/``departed`` are the context slot lists a
+        :class:`~repro.dynamics.ChurnDriver` step returns.  A step can
+        batch *several* events, so the lists describe an interleaved
+        history, not a net change: a slot may be freed and reused (it
+        appears in both lists — the old link leaves the schedule and the
+        new link is placed fresh), and a link that arrived and departed
+        within the same batch was never scheduled at all.  ``apply``
+        reconciles the net effect against the context's activity mask:
+        scheduled slots that departed are dropped first, then every
+        still-active unscheduled slot is placed.  Every
+        ``rebuild_every``-th call re-anchors with a full first-fit
+        instead.
+        """
+        if not arrived and not departed:
+            return
+        self.stats.events += 1
+        gone = [
+            s
+            for s in dict.fromkeys(int(x) for x in departed)
+            if s in self._slot_of
+        ]
+        if (
+            self.rebuild_every is not None
+            and self.stats.events % self.rebuild_every == 0
+        ):
+            self.stats.departures += len(gone)
+            self.stats.rebuilds += 1
+            self._install(self._first_fit())
+            return
+        self.on_departures(gone)
+        active = self.dyn.active_mask
+        fresh = [
+            s
+            for s in dict.fromkeys(int(x) for x in arrived)
+            if active[s] and s not in self._slot_of
+        ]
+        self.on_arrivals(fresh)
+
+    def on_departures(self, departed: Sequence[int]) -> None:
+        """Drop departed links: O(1) bookkeeping per link (see class doc)."""
+        for s in departed:
+            s = int(s)
+            t = self._slot_of.pop(s, None)
+            if t is None:
+                raise LinkError(
+                    f"context slot {s} is not in the maintained schedule"
+                )
+            self._members[t].discard(s)
+            self._in_sum[t] = None  # stale; exact recompute on next probe
+        if departed:
+            self.stats.departures += len(departed)
+            self._compiled = None
+
+    def on_arrivals(self, arrived: Sequence[int]) -> None:
+        """Place each arrival (first fit, then cascade, then a new slot)."""
+        for s in arrived:
+            s = int(s)
+            if s in self._slot_of:
+                raise LinkError(
+                    f"context slot {s} is already scheduled; apply "
+                    "departures before arrivals"
+                )
+            self._place(s, self.cascade)
+            self.stats.placements += 1
+        if arrived:
+            self._compiled = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ledger(self, t: int) -> np.ndarray:
+        """Slot ``t``'s in-affectance sums, recomputed when stale.
+
+        Ledger entries are exact at member positions (additions maintain
+        them; a departure marks the slot stale and the recompute below
+        reads the already-zeroed matrix).  Entries at non-member
+        positions may be stale — probes never read them: a candidate's
+        own in-affectance is always gathered fresh from the matrix.
+        """
+        v = self._in_sum[t]
+        cap = self.dyn.capacity
+        if v is None or v.shape[0] != cap:
+            members = self._member_array(t)
+            a = self.dyn.raw_affectance
+            v = a[members].sum(axis=0) if members.size else np.zeros(cap)
+            self._in_sum[t] = v
+        return v
+
+    def _member_array(self, t: int) -> np.ndarray:
+        return np.sort(np.fromiter(self._members[t], dtype=int))
+
+    def _try_place(self, v: int, t: int) -> bool:
+        """Admit ``v`` into slot ``t`` when the slot stays feasible.
+
+        Two vectorized comparisons against the slot's ledger sums — the
+        exact rule of :meth:`SchedulingContext.first_fit`: the slot's
+        in-affectance on ``v`` stays at most 1, and every member's load
+        with ``v``'s row added stays at most 1.
+        """
+        a = self.dyn.raw_affectance
+        members = self._member_array(t)
+        iv = float(a[members, v].sum())
+        if iv > 1.0:
+            return False
+        ledger = self._ledger(t)
+        if members.size and np.any(ledger[members] + a[v, members] > 1.0):
+            return False
+        ledger[v] = iv  # fresh value; the += below leaves it intact
+        ledger += a[v]
+        self._members[t].add(v)
+        self._slot_of[v] = t
+        return True
+
+    def _place(self, v: int, budget: int) -> None:
+        for t in range(len(self._members)):
+            if self._try_place(v, t):
+                return
+        if budget > 0:
+            hit = self._find_eviction(v)
+            if hit is not None:
+                t, u = hit
+                self._evict(u, t)
+                self.stats.evictions += 1
+                if not self._try_place(v, t):  # pragma: no cover
+                    raise LinkError(
+                        f"eviction of {u} did not make slot {t} feasible "
+                        f"for {v} (internal invariant violated)"
+                    )
+                self._place(u, budget - 1)
+                return
+        self._members.append({v})
+        self._in_sum.append(self.dyn.raw_affectance[v].copy())
+        self._slot_of[v] = len(self._members) - 1
+        self.stats.opened += 1
+
+    def _find_eviction(self, v: int) -> tuple[int, int] | None:
+        """The cheapest single eviction that lets some slot admit ``v``.
+
+        For each slot, a member ``u`` is a candidate when the slot minus
+        ``u`` plus ``v`` passes the exact feasibility rule; the check
+        runs as one (members x members) comparison per slot.  Cheapest:
+        smallest link length, ties by context slot then schedule slot.
+        """
+        a = self.dyn.raw_affectance
+        lengths = self.dyn.lengths
+        best: tuple[float, int, int] | None = None  # (length, u, t)
+        for t, member_set in enumerate(self._members):
+            if not member_set:
+                continue
+            members = self._member_array(t)
+            col = a[members, v]
+            iv = col.sum()
+            ledger = self._ledger(t)
+            base = ledger[members] + a[v, members]
+            block = a[np.ix_(members, members)]
+            ok = base[None, :] - block <= 1.0  # [u, w]: w's load sans u
+            np.fill_diagonal(ok, True)  # u itself is leaving
+            feasible = ok.all(axis=1) & (iv - col <= 1.0)
+            for i in np.flatnonzero(feasible):
+                u = int(members[i])
+                key = (float(lengths[u]), u, t)
+                if best is None or key < best:
+                    best = key
+        return None if best is None else (best[2], best[1])
+
+    def _evict(self, u: int, t: int) -> None:
+        """Remove ``u`` from slot ``t`` (schedule-level only: ``u`` stays
+        active in the context).  The slot's ledger is marked stale and
+        recomputed exactly on the next probe — evictions are rare enough
+        that keeping the sums drift-free beats a subtractive update."""
+        self._members[t].discard(u)
+        del self._slot_of[u]
+        self._in_sum[t] = None
+
+    def _first_fit(self) -> list[list[int]]:
+        """From-scratch first-fit over the active links, shortest first.
+
+        Runs entirely off the maintained padded matrices (no affectance
+        build); identical admission rule and order (length, then slot
+        index) as :meth:`SchedulingContext.first_fit`, so on a quiescent
+        context the result matches the static scheduler slot for slot.
+        """
+        dyn = self.dyn
+        act = dyn.active_slots
+        a = dyn.raw_affectance
+        order = act[np.lexsort((act, dyn.lengths[act]))]
+        slots: list[list[int]] = []
+        sums: list[np.ndarray] = []
+        for v in order:
+            v = int(v)
+            av = a[v]
+            for t, slot in enumerate(slots):
+                in_aff = sums[t]
+                if in_aff[v] > 1.0:
+                    continue
+                if np.all(in_aff[slot] + av[slot] <= 1.0):
+                    slot.append(v)
+                    in_aff += av
+                    break
+            else:
+                slots.append([v])
+                sums.append(av.copy())
+        return slots
+
+    def _install(self, slots: list[list[int]]) -> None:
+        self._members = [set(s) for s in slots]
+        self._in_sum = [None] * len(slots)
+        self._slot_of = {
+            v: t for t, slot in enumerate(slots) for v in slot
+        }
+        self._compiled = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OnlineRepairScheduler(m={self.dyn.m}, "
+            f"slots={self.slot_count}, cascade={self.cascade}, "
+            f"rebuild_every={self.rebuild_every})"
+        )

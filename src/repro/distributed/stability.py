@@ -13,7 +13,12 @@ decay spaces; this module provides the substrate to observe it:
   strawman [44] improves upon),
 * a **churn mode**: links arrive and depart mid-run through the
   incremental :class:`~repro.algorithms.context.DynamicContext` — O(m)
-  matrix work per event, never a rebuild.
+  matrix work per event, never a rebuild,
+* a **repair mode** (``scheduler="repair"``): an
+  :class:`~repro.algorithms.repair.OnlineRepairScheduler` maintains a
+  feasible TDMA schedule across churn events, repairing locally instead
+  of rescheduling (``scheduler="rebuild"`` is the per-event-rebuild
+  baseline).
 
 The simulator never rebuilds the affectance matrix inside the slot loop:
 pass ``context=`` to share one :class:`SchedulingContext` across a whole
@@ -32,6 +37,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.algorithms.context import SchedulingContext, check_context
+from repro.algorithms.repair import OnlineRepairScheduler
 from repro.core.affectance import feasible_within
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
@@ -135,6 +141,14 @@ class StabilityResult:
     mean_queue_trajectory: np.ndarray
     dropped: int = 0
     churn_events: int = 0
+    #: Final slot count of the maintained schedule (``scheduler=`` runs).
+    schedule_slots: int = 0
+    #: Final repair-vs-rebuild slot-count competitive ratio (NaN for
+    #: policy runs): maintained slots over a from-scratch first-fit's.
+    repair_ratio: float = float("nan")
+    #: Full re-anchors performed by the scheduler (``scheduler="rebuild"``
+    #: re-anchors every event; ``"repair"`` never does).
+    scheduler_rebuilds: int = 0
 
     @property
     def drift(self) -> float:
@@ -166,6 +180,8 @@ def run_queue_simulation(
     seed: int | np.random.Generator | None = None,
     context: SchedulingContext | None = None,
     churn: Sequence | None = None,
+    scheduler: str = "policy",
+    cascade: int = 1,
 ) -> StabilityResult:
     """Simulate Bernoulli arrivals against a scheduling policy.
 
@@ -183,6 +199,25 @@ def run_queue_simulation(
     slots through a :class:`DynamicContext` (links start with empty
     queues; departures drop their backlog, counted in ``dropped``).
     ``links`` is then the initial link set over the substrate space.
+
+    ``scheduler`` selects who picks the transmission sets:
+
+    ``"policy"``
+        The default: ``policy`` is called every slot on the queue state.
+    ``"repair"``
+        An :class:`~repro.algorithms.repair.OnlineRepairScheduler`
+        maintains a feasible slot assignment (eviction-cascade depth
+        ``cascade``) and the simulation runs TDMA over it — slot ``t``
+        transmits the backlogged members of schedule slot ``t mod T``.
+        Churn events are repaired locally, never rescheduled.
+    ``"rebuild"``
+        The same TDMA consumer, but the schedule is rebuilt from scratch
+        (first-fit over the maintained matrices) after *every* churn
+        event — the baseline repair is benchmarked against.
+
+    Scheduler runs report the final ``schedule_slots``, the
+    ``repair_ratio`` against a from-scratch first-fit, and the number of
+    ``scheduler_rebuilds`` in the result.
     """
     if not 0.0 <= arrival_rate <= 1.0:
         raise SimulationError("arrival rate must be in [0, 1]")
@@ -190,6 +225,17 @@ def run_queue_simulation(
         raise SimulationError("need at least one slot")
     if sample_every < 1:
         raise SimulationError("sample_every must be >= 1")
+    if scheduler not in ("policy", "repair", "rebuild"):
+        raise SimulationError(
+            f"unknown scheduler {scheduler!r}; expected 'policy', "
+            "'repair' or 'rebuild'"
+        )
+    if scheduler != "policy" and policy is not lqf_policy:
+        raise SimulationError(
+            f"a custom policy cannot be combined with scheduler="
+            f"{scheduler!r}: the maintained TDMA schedule picks the "
+            "transmission sets"
+        )
     rng = (
         seed
         if isinstance(seed, np.random.Generator)
@@ -204,20 +250,30 @@ def run_queue_simulation(
         if context is not None
         else SchedulingContext(links, powers, noise=noise, beta=beta)
     )
-    if churn is None:
+    if churn is None and scheduler == "policy":
         dyn = None
         driver = None
         a = base.raw_affectance
         act = np.arange(links.m)  # the active set never changes
         queues = np.zeros(links.m)
     else:
-        # Churn mode: the incremental context absorbs arrivals and
-        # departures in O(m) per event; the loop never rebuilds a matrix.
+        # Churn mode (and every scheduler-maintained run): the
+        # incremental context absorbs arrivals and departures in O(m)
+        # per event; the loop never rebuilds a matrix.
         dyn = base.dynamic()
-        driver = ChurnDriver(dyn, churn, power=power)
+        driver = ChurnDriver(dyn, churn, power=power) if churn is not None else None
         a = dyn.raw_affectance  # padded; grows only if capacity doubles
         act = dyn.active_slots
         queues = np.zeros(dyn.capacity)
+    repairer = (
+        OnlineRepairScheduler(
+            dyn,
+            cascade=cascade,
+            rebuild_every=1 if scheduler == "rebuild" else None,
+        )
+        if scheduler != "policy"
+        else None
+    )
     delivered = 0
     dropped = 0
     applied = 0
@@ -229,25 +285,47 @@ def run_queue_simulation(
                 applied += 1
                 dropped += int(freed)
                 a = dyn.raw_affectance  # capacity growth reallocates it
+                if repairer is not None:
+                    repairer.apply(arrived, departed)
             act = dyn.active_slots
         queues[act] += rng.random(act.size) < arrival_rate
-        active = np.asarray(policy(queues, a, rng), dtype=int)
-        if active.size:
-            winners = active[
-                feasible_within(a, active) & (queues[active] > 0)
-            ]
-            queues[winners] -= 1.0
-            delivered += int(winners.size)
+        if repairer is not None:
+            # TDMA over the maintained schedule: every member of the
+            # slot's turn is feasible by construction (backlogged
+            # members form a subset of a feasible set).
+            schedule = repairer.active_schedule
+            if schedule:
+                members = schedule[t % len(schedule)]
+                winners = members[queues[members] > 0]
+                queues[winners] -= 1.0
+                delivered += int(winners.size)
+        else:
+            active = np.asarray(policy(queues, a, rng), dtype=int)
+            if active.size:
+                winners = active[
+                    feasible_within(a, active) & (queues[active] > 0)
+                ]
+                queues[winners] -= 1.0
+                delivered += int(winners.size)
         if t % sample_every == 0:
             trajectory.append(float(queues[act].mean()) if act.size else 0.0)
-    if driver is not None:
+    if dyn is not None:
         act = dyn.active_slots
     return StabilityResult(
         arrival_rate=float(arrival_rate),
         slots=slots,
         delivered=delivered,
-        final_queues=queues[act] if driver is not None else queues,
+        final_queues=queues[act] if dyn is not None else queues,
         mean_queue_trajectory=np.asarray(trajectory),
         dropped=dropped,
         churn_events=applied,
+        schedule_slots=repairer.slot_count if repairer is not None else 0,
+        repair_ratio=(
+            repairer.competitive_ratio()
+            if repairer is not None
+            else float("nan")
+        ),
+        scheduler_rebuilds=(
+            repairer.stats.rebuilds if repairer is not None else 0
+        ),
     )

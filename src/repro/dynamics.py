@@ -72,12 +72,25 @@ class DynamicScenario:
             )
         last = -1
         for ev in self.events:
+            if ev.slot < 0:
+                raise SimulationError(
+                    f"dynamic scenario {self.name!r} has an event at "
+                    f"negative slot {ev.slot}"
+                )
             if ev.slot < last:
                 raise SimulationError(
                     f"dynamic scenario {self.name!r} events must be "
                     "sorted by slot"
                 )
             last = ev.slot
+        # An event at slot >= horizon would silently never fire in a
+        # horizon-bounded run; a trace that carries one is malformed.
+        if self.events and last >= self.horizon:
+            raise SimulationError(
+                f"dynamic scenario {self.name!r} has an event at slot "
+                f"{last} outside its horizon {self.horizon}; events must "
+                "satisfy slot < horizon or they would never be applied"
+            )
 
     @property
     def m0(self) -> int:
@@ -158,29 +171,44 @@ class ChurnDriver:
         """
         arrived: list[int] = []
         departed: list[int] = []
+        for gone, fresh in self._pending(t):
+            departed.extend(gone)
+            arrived.extend(fresh)
+        return arrived, departed
+
+    def _pending(self, t: int):
+        """Apply pending events due at or before ``t``, one at a time.
+
+        The single drain loop both :meth:`step` and :meth:`step_state`
+        consume; yields ``(departed_slots, arrived_slots)`` per event.
+        """
         while self._pos < len(self.events) and self.events[self._pos].slot <= t:
-            ev = self.events[self._pos]
-            self._pos += 1
-            gone: list[int] = []
-            for link_id in ev.departures:
-                slot = self._id_to_slot.pop(int(link_id), None)
-                if slot is None:
-                    raise SimulationError(
-                        f"churn event at slot {ev.slot} departs unknown "
-                        f"or already-departed link id {link_id}"
-                    )
-                gone.append(slot)
-            if gone:
-                self.dyn.remove_links(gone)
-                departed.extend(gone)
-            for sender, receiver in ev.arrivals:
-                slot = self.dyn.add_link(
-                    int(sender), int(receiver), power=self.power
+            yield self._apply_next()
+
+    def _apply_next(self) -> tuple[list[int], list[int]]:
+        """Apply exactly the next pending event; ``(departed, arrived)``."""
+        ev = self.events[self._pos]
+        self._pos += 1
+        gone: list[int] = []
+        for link_id in ev.departures:
+            slot = self._id_to_slot.pop(int(link_id), None)
+            if slot is None:
+                raise SimulationError(
+                    f"churn event at slot {ev.slot} departs unknown "
+                    f"or already-departed link id {link_id}"
                 )
+            gone.append(slot)
+        if gone:
+            self.dyn.remove_links(gone)
+        fresh: list[int] = []
+        if ev.arrivals:
+            # One vectorized block update per event instead of a
+            # row/column pass per link (byte-identical matrices).
+            fresh = self.dyn.add_links(ev.arrivals, powers=self.power)
+            for slot in fresh:
                 self._id_to_slot[self._next_id] = slot
                 self._next_id += 1
-                arrived.append(slot)
-        return arrived, departed
+        return gone, fresh
 
     def step_state(
         self, t: int, state: np.ndarray
@@ -195,17 +223,27 @@ class ChurnDriver:
         ``(state, arrived, departed, reclaimed)``.  After a step that
         applied events, re-read any padded matrix references from the
         context — capacity growth reallocates them.
+
+        State maintenance runs *per event*, not once after the batch: a
+        slot freed by one event and reused by a later event in the same
+        call is zeroed in between, so ``reclaimed`` counts exactly each
+        departing link's own backlog (a batched sum over the combined
+        departure list would double-count reused slots).
         """
-        arrived, departed = self.step(t)
+        arrived: list[int] = []
+        departed: list[int] = []
         reclaimed = 0.0
-        if departed:
-            idx = np.asarray(departed, dtype=int)
-            reclaimed = float(state[idx].sum())
-            state[idx] = 0.0
-        if self.dyn.capacity != state.shape[0]:
-            grown = np.zeros(self.dyn.capacity)
-            grown[: state.shape[0]] = state
-            state = grown
-        if arrived:
-            state[np.asarray(arrived, dtype=int)] = 0.0
+        for gone, fresh in self._pending(t):
+            if gone:
+                idx = np.asarray(gone, dtype=int)
+                reclaimed += float(state[idx].sum())
+                state[idx] = 0.0
+                departed.extend(gone)
+            if self.dyn.capacity != state.shape[0]:
+                grown = np.zeros(self.dyn.capacity)
+                grown[: state.shape[0]] = state
+                state = grown
+            if fresh:
+                state[np.asarray(fresh, dtype=int)] = 0.0
+                arrived.extend(fresh)
         return state, arrived, departed, reclaimed

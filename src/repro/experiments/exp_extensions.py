@@ -188,9 +188,12 @@ def stability_table(
         ],
         notes="drift = slope of the mean-queue trajectory's second half; "
         "positive drift marks instability.  The whole rate sweep shares "
-        "one SchedulingContext (a single affectance build); the final "
-        "row replays a random_waypoint churn trace through the "
-        "incremental context at load 0.5.",
+        "one SchedulingContext (a single affectance build); the "
+        "waypoint-churn row replays a random_waypoint trace through the "
+        "incremental context at load 0.5.  In the final (repair) row the "
+        "LQF columns hold the online repair scheduler's TDMA run over "
+        "the same trace and the 'random drift' column holds the "
+        "rebuild-after-every-event TDMA baseline.",
     )
     # The sustainable uniform rate: all links served once every T slots,
     # where T is the length of a full feasible schedule.  Densify the
@@ -242,5 +245,20 @@ def stability_table(
         lqf.drift,
         float(lqf.final_queues.mean()),
         rnd.drift,
+    )
+    # Repair row: the online repair scheduler serves the same mobility
+    # trace as a maintained TDMA schedule (local repair per event); the
+    # last column is the per-event-rebuild baseline's drift.
+    repair = run_queue_simulation(
+        moving, rate, slots, seed=seed, churn=scenario, scheduler="repair"
+    )
+    rebuild = run_queue_simulation(
+        moving, rate, slots, seed=seed, churn=scenario, scheduler="rebuild"
+    )
+    table.add_row(
+        "0.5 (churn, repair TDMA)",
+        repair.drift,
+        float(repair.final_queues.mean()),
+        rebuild.drift,
     )
     return table

@@ -5,6 +5,14 @@ paper's methodology (Sec. 2.2: spaces are "relatively easily obtained by
 measurements").  This module stores them as ``.npz`` archives together
 with optional labels and link endpoints, so field measurements and
 synthetic environments round-trip identically.
+
+Paths round-trip with or without the ``.npz`` suffix:
+``numpy.savez_compressed`` appends ``.npz`` to bare paths, so both the
+savers and the loaders normalise the suffix — ``save_links("foo")``
+followed by ``load_links("foo")`` opens the ``foo.npz`` that was
+actually written.  Every archive carries a ``format_version`` and both
+loaders reject versions newer than this build understands, instead of
+silently misreading a future layout.
 """
 
 from __future__ import annotations
@@ -22,55 +30,96 @@ __all__ = ["save_space", "load_space", "save_links", "load_links"]
 _FORMAT_VERSION = 1
 
 
+def _npz_path(path: str | pathlib.Path) -> pathlib.Path:
+    """``path`` with the ``.npz`` suffix ``savez_compressed`` enforces.
+
+    ``np.savez_compressed`` silently appends ``.npz`` whenever the name
+    does not already end in it; making that explicit here tells the
+    savers (and their callers) the file that will actually be written.
+    """
+    p = pathlib.Path(path)
+    return p if p.suffix == ".npz" else p.with_name(p.name + ".npz")
+
+
+def _load_path(path: str | pathlib.Path) -> pathlib.Path:
+    """Resolve a load path, matching the saver's suffix behaviour.
+
+    A path that exists is opened as given (an archive renamed to e.g.
+    ``.dat`` stays loadable); otherwise the ``.npz`` suffix the saver
+    would have appended is tried, so ``save_links("foo")`` /
+    ``load_links("foo")`` round-trips.
+    """
+    p = pathlib.Path(path)
+    if p.suffix == ".npz" or p.is_file():
+        return p
+    return _npz_path(p)
+
+
+def _write_archive(
+    path: str | pathlib.Path,
+    payload: dict[str, np.ndarray],
+    labels: tuple[str, ...] | None,
+) -> None:
+    """Stamp the format version, attach labels, and write the archive."""
+    payload["format_version"] = np.array([_FORMAT_VERSION])
+    if labels is not None:
+        payload["labels"] = np.array(labels, dtype=np.str_)
+    np.savez_compressed(_npz_path(path), **payload)
+
+
+def _checked_labels(
+    archive, path: str | pathlib.Path, required: tuple[str, ...], kind: str
+) -> list[str] | None:
+    """The shared loader preamble: key check, version check, label decode.
+
+    Raises :class:`ReproError` when the archive is missing the ``kind``'s
+    required arrays or was written by a newer format than this build
+    supports — a future layout silently misread would corrupt downstream
+    results without a trace.
+    """
+    for key in required:
+        if key not in archive:
+            raise ReproError(f"{path}: not a {kind} archive")
+    if "format_version" not in archive:
+        raise ReproError(
+            f"{path}: not a {kind} archive (missing format_version)"
+        )
+    version = int(archive["format_version"][0])
+    if version > _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: format version {version} is newer than supported "
+            f"({_FORMAT_VERSION})"
+        )
+    return [str(x) for x in archive["labels"]] if "labels" in archive else None
+
+
 def save_space(path: str | pathlib.Path, space: DecaySpace) -> None:
     """Write a decay space to an ``.npz`` archive."""
-    payload: dict[str, np.ndarray] = {
-        "format_version": np.array([_FORMAT_VERSION]),
-        "decay": space.f,
-    }
-    if space.labels is not None:
-        payload["labels"] = np.array(space.labels, dtype=np.str_)
-    np.savez_compressed(pathlib.Path(path), **payload)
+    _write_archive(path, {"decay": space.f}, space.labels)
 
 
 def load_space(path: str | pathlib.Path) -> DecaySpace:
     """Read a decay space written by :func:`save_space` (re-validated)."""
-    with np.load(pathlib.Path(path), allow_pickle=False) as archive:
-        if "decay" not in archive:
-            raise ReproError(f"{path}: not a decay-space archive")
-        version = int(archive["format_version"][0])
-        if version > _FORMAT_VERSION:
-            raise ReproError(
-                f"{path}: format version {version} is newer than supported "
-                f"({_FORMAT_VERSION})"
-            )
-        labels = (
-            [str(x) for x in archive["labels"]] if "labels" in archive else None
-        )
+    with np.load(_load_path(path), allow_pickle=False) as archive:
+        labels = _checked_labels(archive, path, ("decay",), "decay-space")
         return DecaySpace(archive["decay"], labels=labels)
 
 
 def save_links(path: str | pathlib.Path, links: LinkSet) -> None:
     """Write a link set (decay space + endpoints) to an ``.npz`` archive."""
-    payload: dict[str, np.ndarray] = {
-        "format_version": np.array([_FORMAT_VERSION]),
+    payload = {
         "decay": links.space.f,
         "senders": links.senders,
         "receivers": links.receivers,
     }
-    if links.space.labels is not None:
-        payload["labels"] = np.array(links.space.labels, dtype=np.str_)
-    np.savez_compressed(pathlib.Path(path), **payload)
+    _write_archive(path, payload, links.space.labels)
 
 
 def load_links(path: str | pathlib.Path) -> LinkSet:
     """Read a link set written by :func:`save_links` (re-validated)."""
-    with np.load(pathlib.Path(path), allow_pickle=False) as archive:
-        for key in ("decay", "senders", "receivers"):
-            if key not in archive:
-                raise ReproError(f"{path}: not a link-set archive")
-        labels = (
-            [str(x) for x in archive["labels"]] if "labels" in archive else None
+    with np.load(_load_path(path), allow_pickle=False) as archive:
+        labels = _checked_labels(
+            archive, path, ("decay", "senders", "receivers"), "link-set"
         )
         space = DecaySpace(archive["decay"], labels=labels)
         pairs = list(zip(archive["senders"].tolist(), archive["receivers"].tolist()))

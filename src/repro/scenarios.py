@@ -51,7 +51,10 @@ through the incremental :class:`~repro.algorithms.context.DynamicContext`.
     Mobility: senders move toward random waypoints in epochs; every
     position a link will ever occupy is a node of the substrate space, so
     a move is a departure of the old ``(sender, receiver)`` pair and an
-    arrival of the new one — the decay matrix never changes mid-run.
+    arrival of the new one — the decay matrix never changes mid-run.  The
+    super-space is assembled *streamed*, one row/column band per epoch
+    (:class:`_StreamedSuperSpace`), never materializing the full
+    difference tensor.
 
 Registering a new scenario::
 
@@ -190,6 +193,95 @@ def iter_dynamic_scenarios(
 # ----------------------------------------------------------------------
 # Geometry helpers
 # ----------------------------------------------------------------------
+class _StreamedSuperSpace:
+    """Assemble a geometric super-space decay matrix block by block.
+
+    Mobility traces model every position a link ever occupies as a node,
+    so the super-space's node count grows with the trace.  Materializing
+    it up front (``DecaySpace.from_points`` over the concatenated
+    positions) allocates an ``(n, n, dim)`` difference tensor — three
+    times the final matrix — in one shot.  This assembler instead grows
+    the decay matrix as epochs append position blocks: each new block
+    contributes one band of rows and columns (new-versus-seen plus
+    new-versus-new), computed in ``chunk``-row slices, so peak temporary
+    memory is O(chunk * n) regardless of the trace length.  Storage for
+    the matrix itself doubles geometrically, so appends are amortized
+    O(band).
+
+    Every entry is produced by the same elementwise expression as
+    ``DecaySpace.from_points`` (``sqrt((a - b)^2 summed) ** alpha``), so
+    the assembled matrix is byte-identical to the up-front build; the
+    test suite pins this.
+    """
+
+    def __init__(
+        self, points: np.ndarray, alpha: float, chunk: int = 2048
+    ) -> None:
+        if alpha <= 0:
+            raise DecaySpaceError(
+                f"path-loss exponent must be positive, got {alpha}"
+            )
+        if chunk < 1:
+            raise DecaySpaceError(f"chunk must be >= 1, got {chunk}")
+        self._alpha = float(alpha)
+        self._chunk = int(chunk)
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise DecaySpaceError("points must be a 2-D array (n, dim)")
+        self._pts = np.empty((max(len(pts), 1), pts.shape[1]))
+        self._f = np.empty((0, 0))
+        self._n = 0
+        self.append(pts)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes appended so far."""
+        return self._n
+
+    def _band(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``d(a, b)^alpha``, elementwise-identical to ``from_points``."""
+        diff = a[:, None, :] - b[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        return dist**self._alpha
+
+    def append(self, points: np.ndarray) -> None:
+        """Extend the super-space by a block of new positions."""
+        new = np.asarray(points, dtype=float)
+        if new.size == 0:
+            return
+        k = new.shape[0]
+        n, total = self._n, self._n + k
+        if total > self._pts.shape[0]:
+            grown = np.empty(
+                (max(2 * self._pts.shape[0], total), self._pts.shape[1])
+            )
+            grown[:n] = self._pts[:n]
+            self._pts = grown
+        self._pts[n:total] = new
+        if total > self._f.shape[0]:
+            grown_f = np.empty((max(2 * self._f.shape[0], total),) * 2)
+            grown_f[:n, :n] = self._f[:n, :n]
+            self._f = grown_f
+        # The new band, in chunk-row slices against everything seen plus
+        # the block itself: rows [n:total) x cols [0:total) and the
+        # transpose-position band rows [0:n) x cols [n:total).
+        for lo in range(n, total, self._chunk):
+            hi = min(lo + self._chunk, total)
+            self._f[lo:hi, :total] = self._band(
+                self._pts[lo:hi], self._pts[:total]
+            )
+        for lo in range(0, n, self._chunk):
+            hi = min(lo + self._chunk, n)
+            self._f[lo:hi, n:total] = self._band(
+                self._pts[lo:hi], self._pts[n:total]
+            )
+        self._n = total
+
+    def space(self) -> DecaySpace:
+        """The assembled :class:`DecaySpace` over all appended positions."""
+        return DecaySpace(self._f[: self._n, : self._n])
+
+
 def _receivers_near(
     senders: np.ndarray,
     rng: np.random.Generator,
@@ -467,6 +559,7 @@ def random_waypoint(
     move_fraction: float = 0.25,
     advance: float = 0.35,
     alpha: float = 3.0,
+    stream_chunk: int = 2048,
 ) -> DynamicScenario:
     """Random-waypoint mobility as a churn trace over a super-space.
 
@@ -478,6 +571,14 @@ def random_waypoint(
     occupies is a node of the substrate, so a move is one departure (the
     old node pair) plus one arrival (the new pair) and the decay matrix
     is fixed for the whole trace.  Deterministic in ``seed``.
+
+    The super-space is *streamed*: each epoch's positions are appended to
+    a :class:`_StreamedSuperSpace` as they are generated (one row/column
+    band per epoch, computed in ``stream_chunk``-row slices), instead of
+    materializing every visited position and the full difference tensor
+    up front — the node count grows with the trace, the peak temporary
+    stays O(chunk * n), and the resulting decay matrix is byte-identical
+    to the up-front build.
     """
     if horizon < 1:
         raise DecaySpaceError("horizon must be >= 1")
@@ -490,7 +591,9 @@ def random_waypoint(
     senders = rng.uniform(0, extent, size=(n_links, 2))
     receivers = _receivers_near(senders, rng)
     waypoints = rng.uniform(0, extent, size=(n_links, 2))
-    coords: list[np.ndarray] = [senders, receivers]
+    stream = _StreamedSuperSpace(
+        np.concatenate([senders, receivers]), alpha, chunk=stream_chunk
+    )
     n_nodes = 2 * n_links
     position = senders.copy()
     # Current (sender node, receiver node, link id) per link.
@@ -510,7 +613,7 @@ def random_waypoint(
             waypoints[movers] - position[movers]
         )
         new_r = _receivers_near(new_s, rng)
-        coords.extend([new_s, new_r])
+        stream.append(np.concatenate([new_s, new_r]))
         arrivals: list[tuple[int, int]] = []
         departures: list[int] = []
         for j, i in enumerate(movers):
@@ -531,7 +634,7 @@ def random_waypoint(
                 departures=tuple(departures),
             )
         )
-    space = DecaySpace.from_points(np.concatenate(coords), alpha)
+    space = stream.space()
     return DynamicScenario(
         name="random_waypoint",
         space=space,

@@ -149,6 +149,94 @@ class TestChurnIdentity:
         )
 
 
+class TestBatchedArrivals:
+    """add_links must be byte-identical to sequential add_link calls."""
+
+    @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=8)
+    def test_batch_identical_to_sequential(self, scenario, seed):
+        links = build_scenario(scenario, n_links=14, seed=3)
+        pairs = [(l.sender, l.receiver) for l in links]
+        rng = np.random.default_rng(seed)
+        m0 = int(rng.integers(0, 6))
+        seq = DynamicContext(links.space, pairs[:m0], capacity=4)
+        bat = DynamicContext(links.space, pairs[:m0], capacity=4)
+        if m0 >= 3:  # fragment the free list so slot reuse is exercised
+            seq.remove_links([1])
+            bat.remove_links([1])
+        if rng.random() < 0.5:
+            seq.link_distances
+            bat.link_distances
+        for _ in range(int(rng.integers(1, 4))):
+            k = int(rng.integers(1, 7))
+            batch = [
+                pairs[int(rng.integers(len(pairs)))] for _ in range(k)
+            ]
+            powers = rng.uniform(0.5, 2.0, size=k)
+            got = [
+                seq.add_link(s, r, power=p)
+                for (s, r), p in zip(batch, powers)
+            ]
+            want = bat.add_links(batch, powers=powers)
+            assert got == want
+        assert seq.capacity == bat.capacity
+        assert np.array_equal(seq.raw_affectance, bat.raw_affectance)
+        assert np.array_equal(seq.affectance, bat.affectance)
+        assert np.array_equal(seq.ledger_in_sums, bat.ledger_in_sums)
+        assert np.array_equal(seq.ledger_out_sums, bat.ledger_out_sums)
+        assert np.array_equal(seq.lengths, bat.lengths)
+        assert np.array_equal(seq.powers, bat.powers)
+        assert np.array_equal(seq.link_distances, bat.link_distances)
+
+    def test_batch_into_empty_context(self):
+        links = build_scenario("planar_uniform", n_links=6, seed=1)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space)
+        assert dyn.add_links(pairs) == list(range(6))
+        fresh = _fresh_like(dyn)
+        assert np.array_equal(
+            dyn.freeze().raw_affectance, fresh.raw_affectance
+        )
+
+    def test_empty_batch_is_noop(self):
+        links = build_scenario("planar_uniform", n_links=4, seed=2)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs)
+        before = dyn.raw_affectance.copy()
+        assert dyn.add_links([]) == []
+        assert dyn.m == 4
+        assert np.array_equal(dyn.raw_affectance, before)
+
+    def test_scalar_power_broadcasts(self):
+        links = build_scenario("planar_uniform", n_links=6, seed=3)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs[:2])
+        slots = dyn.add_links(pairs[2:5], powers=2.5)
+        assert np.all(dyn.powers[slots] == 2.5)
+
+    def test_batch_validation_is_atomic(self):
+        """A bad entry anywhere in the batch leaves the context untouched."""
+        links = build_scenario("planar_uniform", n_links=6, seed=4)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs[:3])
+        before = dyn.raw_affectance.copy()
+        with pytest.raises(LinkError):
+            dyn.add_links([pairs[3], (0, links.space.n + 2)])
+        with pytest.raises(PowerError):
+            dyn.add_links(pairs[3:5], powers=[1.0, -1.0])
+        with pytest.raises(PowerError):
+            dyn.add_links(pairs[3:5], powers=[1.0, 2.0, 3.0])
+        noisy = DynamicContext(
+            links.space, pairs[:2], noise=1e6, beta=1.0,
+            powers=1e12 * np.ones(2),
+        )
+        with pytest.raises(InfeasibleLinkError):
+            noisy.add_links([pairs[2], pairs[3]], powers=[1e12, 1.0])
+        assert dyn.m == 3
+        assert np.array_equal(dyn.raw_affectance, before)
+
+
 class TestDynamicContextMechanics:
     def test_initial_links_occupy_slots_in_order(self):
         links = build_scenario("planar_uniform", n_links=6, seed=1)

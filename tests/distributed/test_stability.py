@@ -220,3 +220,88 @@ class TestChurnMode:
         assert np.array_equal(
             via_scenario.final_queues, via_events.final_queues
         )
+
+
+class TestRepairSchedulerMode:
+    def _scenario(self, seed=31, n_links=10, horizon=600):
+        return build_dynamic_scenario(
+            "poisson_churn",
+            n_links=n_links,
+            seed=seed,
+            horizon=horizon,
+            churn_rate=0.1,
+            substrate="planar_uniform",
+        )
+
+    def test_repair_mode_serves_and_reports(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        res = run_queue_simulation(
+            links, 0.2, scn.horizon, churn=scn, seed=32, scheduler="repair"
+        )
+        assert res.delivered > 0
+        assert res.churn_events > 0
+        assert res.schedule_slots >= 1
+        assert np.isfinite(res.repair_ratio) and res.repair_ratio >= 1.0
+        assert res.scheduler_rebuilds == 0  # repair never re-anchors
+
+    def test_rebuild_mode_reanchors_every_event(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        res = run_queue_simulation(
+            links, 0.2, scn.horizon, churn=scn, seed=33, scheduler="rebuild"
+        )
+        assert res.scheduler_rebuilds == res.churn_events
+        assert res.repair_ratio == 1.0  # fresh first-fit by definition
+
+    def test_repair_mode_stable_at_low_load(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        rate = 0.4 / schedule_first_fit(links).length
+        res = run_queue_simulation(
+            links, rate, scn.horizon, churn=scn, seed=34, scheduler="repair"
+        )
+        assert res.drift < 0.1
+
+    def test_repair_mode_deterministic(self):
+        scn = self._scenario()
+        links = scn.initial_links()
+        a = run_queue_simulation(
+            links, 0.2, scn.horizon, churn=scn, seed=35, scheduler="repair"
+        )
+        b = run_queue_simulation(
+            links, 0.2, scn.horizon, churn=scn, seed=35, scheduler="repair"
+        )
+        assert a.delivered == b.delivered
+        assert np.array_equal(a.final_queues, b.final_queues)
+
+    def test_repair_mode_without_churn_is_static_tdma(self):
+        """A churn-free repair run is a fixed first-fit TDMA rotation."""
+        links = make_planar_links(8, alpha=3.0, seed=36)
+        slots = schedule_first_fit(links).length
+        rate = 0.5 / slots
+        res = run_queue_simulation(
+            links, rate, 2000, seed=37, scheduler="repair"
+        )
+        assert res.schedule_slots == slots
+        assert res.churn_events == 0
+        assert res.drift < 0.1
+        assert res.delivered > 0
+
+    def test_unknown_scheduler_rejected(self):
+        links = make_planar_links(4, alpha=3.0, seed=38)
+        with pytest.raises(SimulationError, match="scheduler"):
+            run_queue_simulation(links, 0.2, 50, scheduler="bogus")
+
+    def test_policy_runs_report_nan_ratio(self):
+        links = make_planar_links(4, alpha=3.0, seed=39)
+        res = run_queue_simulation(links, 0.2, 50, seed=40)
+        assert np.isnan(res.repair_ratio)
+        assert res.schedule_slots == 0
+
+    def test_custom_policy_with_scheduler_rejected(self):
+        links = make_planar_links(4, alpha=3.0, seed=41)
+        with pytest.raises(SimulationError, match="custom policy"):
+            run_queue_simulation(
+                links, 0.2, 50, policy=random_policy, scheduler="repair"
+            )

@@ -38,11 +38,18 @@ class TestE16Aggregation:
     def test_stability_shape(self):
         table = stability_table(n_links=8, slots=2500)
         drifts = table.column("LQF drift")
-        # Stable at half load, unstable at 1.5x (row 2); the final row is
-        # the waypoint-churn run at half load, which must stay stable.
+        # Stable at half load, unstable at 1.5x (row 2); the trailing
+        # rows are the waypoint-churn run and the repair-TDMA run at
+        # half load, which must both stay stable.
         assert drifts[0] < 0.1
         assert drifts[2] > 0.1
+        labels = table.column("load (x 1/T)")
+        assert labels[-2] == "0.5 (waypoint churn)"
+        assert labels[-1] == "0.5 (churn, repair TDMA)"
+        assert drifts[-2] < 0.1
         assert drifts[-1] < 0.1
         rnd = table.column("random drift")
         assert rnd[2] >= drifts[0]
-        assert table.column("load (x 1/T)")[-1] == "0.5 (waypoint churn)"
+        # The per-event-rebuild TDMA baseline (repair row, last column)
+        # is stable too — repair loses nothing to full rebuilds here.
+        assert rnd[-1] < 0.1

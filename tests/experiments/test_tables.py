@@ -171,6 +171,10 @@ class TestE12E13Distributed:
             rounds=300,
             seed=10,
         )
-        assert table.column("scenario") == ["planar_uniform", "poisson_churn"]
+        assert table.column("scenario") == [
+            "planar_uniform",
+            "poisson_churn",
+            "poisson_churn (repair)",
+        ]
         for frac in table.column("best/centralized"):
             assert frac >= 0.5

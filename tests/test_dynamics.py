@@ -36,6 +36,37 @@ class TestDynamicScenario:
                 ),
             )
 
+    def test_rejects_out_of_horizon_events(self):
+        """An event at slot >= horizon would silently never fire."""
+        space, pairs = _substrate()
+        with pytest.raises(SimulationError, match="horizon"):
+            DynamicScenario(
+                name="x",
+                space=space,
+                initial=tuple(pairs[:2]),
+                events=(ChurnEvent(slot=10, departures=(0,)),),
+                horizon=10,
+            )
+        with pytest.raises(SimulationError, match="horizon"):
+            # The default horizon (0) covers no event at all.
+            DynamicScenario(
+                name="x",
+                space=space,
+                initial=tuple(pairs[:2]),
+                events=(ChurnEvent(slot=0, departures=(0,)),),
+            )
+
+    def test_rejects_negative_event_slots(self):
+        space, pairs = _substrate()
+        with pytest.raises(SimulationError, match="negative"):
+            DynamicScenario(
+                name="x",
+                space=space,
+                initial=tuple(pairs[:2]),
+                events=(ChurnEvent(slot=-1, arrivals=(pairs[2],)),),
+                horizon=5,
+            )
+
     def test_counters_and_initial_links(self):
         space, pairs = _substrate()
         scn = DynamicScenario(
@@ -116,6 +147,33 @@ class TestChurnDriver:
         assert departed == [0]
         assert reclaimed == 5.0
         assert state[0] == 0.0 and state[2] == 9.0
+
+    def test_step_state_reclaims_exact_queue_mass_across_batches(self):
+        """Across a multi-event batch with slot reuse, ``reclaimed`` must
+        equal exactly the queue mass of the links that departed — no
+        double counting when an arrival reuses a freed slot mid-batch."""
+        space, pairs = _substrate(n_links=10)
+        dyn = DynamicContext(space, pairs[:4])
+        events = (
+            # Applied in one step_state(6) call: id 1 (slot 1, queue 7)
+            # leaves, a new link (id 4) reuses slot 1, then id 4 itself
+            # departs with an *empty* queue, and id 0 (queue 2) leaves.
+            ChurnEvent(slot=3, departures=(1,), arrivals=(pairs[4],)),
+            ChurnEvent(slot=5, departures=(4,), arrivals=(pairs[5],)),
+            ChurnEvent(slot=6, departures=(0,)),
+        )
+        driver = ChurnDriver(dyn, events)
+        state = np.array([2.0, 7.0, 11.0, 3.0])
+        state, arrived, departed, reclaimed = driver.step_state(6, state)
+        # Slot 1 appears twice in the departure list (id 1, then id 4
+        # reusing it).  Only id 1 carried backlog: a batched
+        # state[departed].sum() would count its 7 packets twice.
+        assert departed == [1, 1, 0]
+        assert arrived == [1, 1]  # freed slot reused lowest-first, twice
+        assert reclaimed == 7.0 + 0.0 + 2.0
+        assert np.all(state[[0, 1]] == 0.0)
+        assert state[2] == 11.0 and state[3] == 3.0
+        assert dyn.m == 3
 
     def test_unknown_departure_raises(self):
         space, pairs = _substrate()

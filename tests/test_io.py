@@ -30,6 +30,48 @@ class TestSpaceRoundtrip:
         assert load_space(path) == space
         assert load_space(path).labels is None
 
+    def test_bare_path_roundtrips(self, tmp_path):
+        """savez appends .npz to bare paths; load must find the file."""
+        space = DecaySpace(random_decay_matrix(4, seed=7))
+        bare = tmp_path / "space_no_suffix"
+        save_space(bare, space)
+        assert (tmp_path / "space_no_suffix.npz").exists()
+        assert load_space(bare) == space
+        assert load_space(tmp_path / "space_no_suffix.npz") == space
+
+    def test_directory_with_bare_name_does_not_shadow_archive(self, tmp_path):
+        """A directory named like the bare path must not shadow the
+        .npz the saver actually wrote next to it."""
+        space = DecaySpace(random_decay_matrix(4, seed=12))
+        (tmp_path / "results").mkdir()
+        save_space(tmp_path / "results", space)  # writes results.npz
+        assert load_space(tmp_path / "results") == space
+
+    def test_renamed_archive_still_loads(self, tmp_path):
+        """An existing file is opened as named — appending .npz is only
+        a fallback for bare save-style paths, not a rewrite."""
+        space = DecaySpace(random_decay_matrix(4, seed=11))
+        save_space(tmp_path / "orig.npz", space)
+        renamed = tmp_path / "measurement.dat"
+        (tmp_path / "orig.npz").rename(renamed)
+        assert load_space(renamed) == space
+
+    def test_rejects_future_format_version(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            format_version=np.array([99]),
+            decay=random_decay_matrix(4, seed=8),
+        )
+        with pytest.raises(ReproError, match="newer than supported"):
+            load_space(path)
+
+    def test_rejects_missing_format_version(self, tmp_path):
+        path = tmp_path / "unversioned.npz"
+        np.savez(path, decay=random_decay_matrix(4, seed=9))
+        with pytest.raises(ReproError, match="format_version"):
+            load_space(path)
+
     def test_rejects_foreign_archive(self, tmp_path):
         path = tmp_path / "other.npz"
         np.savez(path, something=np.zeros(3))
@@ -69,6 +111,55 @@ class TestLinksRoundtrip:
             capacity_bounded_growth(loaded).selected
             == capacity_bounded_growth(links).selected
         )
+
+    def test_bare_path_roundtrips(self, tmp_path):
+        """The historical trap: save_links("foo") wrote foo.npz but
+        load_links("foo") tried to open the bare path and failed."""
+        links = make_planar_links(5, alpha=3.0, seed=6)
+        bare = tmp_path / "links_no_suffix"
+        save_links(bare, links)
+        assert (tmp_path / "links_no_suffix.npz").exists()
+        for target in (bare, tmp_path / "links_no_suffix.npz"):
+            loaded = load_links(target)
+            assert np.array_equal(loaded.senders, links.senders)
+            assert loaded.space == links.space
+
+    def test_labels_preserved(self, tmp_path):
+        space = DecaySpace(
+            random_decay_matrix(6, seed=7),
+            labels=[f"ap{i}" for i in range(6)],
+        )
+        from repro.core.links import LinkSet
+
+        links = LinkSet(space, [(0, 1), (2, 3)])
+        path = tmp_path / "labelled.npz"
+        save_links(path, links)
+        assert load_links(path).space.labels == space.labels
+
+    def test_rejects_future_format_version(self, tmp_path):
+        """load_links historically skipped the version check entirely, so
+        a future-format archive was silently misread."""
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            format_version=np.array([99]),
+            decay=random_decay_matrix(3, seed=2),
+            senders=np.array([0]),
+            receivers=np.array([1]),
+        )
+        with pytest.raises(ReproError, match="newer than supported"):
+            load_links(path)
+
+    def test_rejects_missing_format_version(self, tmp_path):
+        path = tmp_path / "unversioned.npz"
+        np.savez(
+            path,
+            decay=random_decay_matrix(3, seed=3),
+            senders=np.array([0]),
+            receivers=np.array([1]),
+        )
+        with pytest.raises(ReproError, match="format_version"):
+            load_links(path)
 
     def test_rejects_foreign_archive(self, tmp_path):
         path = tmp_path / "other.npz"

@@ -222,3 +222,45 @@ class TestDynamicScenarioShapes:
             "poisson_churn", n_links=6, seed=2, substrate="clustered"
         )
         assert scn.m0 == 6
+
+
+class TestStreamedSuperSpace:
+    def test_byte_identical_to_up_front_build(self):
+        """The streamed assembly must equal DecaySpace.from_points bit
+        for bit, for any chunking and append pattern."""
+        from repro.core.decay import DecaySpace
+        from repro.scenarios import _StreamedSuperSpace
+
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 25, size=(83, 2))
+        reference = DecaySpace.from_points(pts, 3.0)
+        for chunk in (1, 5, 64, 4096):
+            stream = _StreamedSuperSpace(pts[:30], 3.0, chunk=chunk)
+            stream.append(pts[30:31])
+            stream.append(np.empty((0, 2)))
+            stream.append(pts[31:70])
+            stream.append(pts[70:])
+            assert stream.n == 83
+            assert np.array_equal(stream.space().f, reference.f)
+
+    def test_waypoint_space_invariant_to_chunking(self):
+        """The scenario's decay matrix must not depend on stream_chunk."""
+        base = build_dynamic_scenario(
+            "random_waypoint", n_links=9, seed=6, steps=3, move_fraction=0.5
+        )
+        tiny = build_dynamic_scenario(
+            "random_waypoint", n_links=9, seed=6, steps=3, move_fraction=0.5,
+            stream_chunk=3,
+        )
+        assert np.array_equal(base.space.f, tiny.space.f)
+        assert base.events == tiny.events
+
+    def test_validation(self):
+        from repro.scenarios import _StreamedSuperSpace
+
+        with pytest.raises(DecaySpaceError):
+            _StreamedSuperSpace(np.zeros((3, 2)), alpha=0.0)
+        with pytest.raises(DecaySpaceError):
+            _StreamedSuperSpace(np.zeros((3, 2)), alpha=3.0, chunk=0)
+        with pytest.raises(DecaySpaceError):
+            _StreamedSuperSpace(np.zeros(3), alpha=3.0)
