@@ -38,6 +38,7 @@ Subpackages
 """
 
 from repro.algorithms import (
+    CapacityRepairScheduler,
     CapacityResult,
     DynamicContext,
     OnlineRepairScheduler,
@@ -98,6 +99,7 @@ from repro.spaces import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CapacityRepairScheduler",
     "CapacityResult",
     "ChurnEvent",
     "DecaySpace",

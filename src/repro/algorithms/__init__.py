@@ -34,7 +34,11 @@ from repro.algorithms.conflict_graph import (
     exact_independent_set,
     greedy_independent_set,
 )
-from repro.algorithms.repair import OnlineRepairScheduler, RepairStats
+from repro.algorithms.repair import (
+    CapacityRepairScheduler,
+    OnlineRepairScheduler,
+    RepairStats,
+)
 from repro.algorithms.partition import (
     lemma_b2_separation,
     partition_eta_separated,
@@ -49,6 +53,7 @@ from repro.algorithms.scheduling import (
 __all__ = [
     "AggregationResult",
     "AmicabilityReport",
+    "CapacityRepairScheduler",
     "CapacityResult",
     "DynamicContext",
     "OPT_LIMIT",

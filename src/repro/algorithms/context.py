@@ -48,7 +48,13 @@ from repro.core.power import uniform_power
 from repro.core.separation import link_distance_matrix
 from repro.errors import InfeasibleLinkError, LinkError, PowerError
 
-__all__ = ["DynamicContext", "Schedule", "SchedulingContext"]
+__all__ = [
+    "DynamicContext",
+    "Schedule",
+    "SchedulingContext",
+    "combined_affectance_within",
+    "slot_admission_sums",
+]
 
 #: Safety margin subtracted from admission thresholds before trusting the
 #: ledger's subtractively-maintained sums: the drift after peeling every
@@ -106,6 +112,38 @@ class _AffectanceLedger:
         if self.out_sum is not None:
             self.out_sum -= self.a[:, idx].sum(axis=1)
         self.count -= idx.size
+
+
+def combined_affectance_within(
+    a: np.ndarray, members: Sequence[int] | np.ndarray, v: int
+) -> float:
+    """``a_M(v) + a_v(M)`` over ``members`` — the admission quantity.
+
+    The scalar Algorithm 1's greedy admission scan checks against its
+    threshold for each candidate (with ``a`` the *clipped* affectance,
+    the paper's accounting).  Shared by the capacity-repair probes so
+    the online admission rule is evaluated by the same gathers the
+    ledger maintains in bulk.
+    """
+    idx = np.asarray(members, dtype=int)
+    return float(a[idx, v].sum() + a[v, idx].sum())
+
+
+def slot_admission_sums(
+    a: np.ndarray, members: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Per-member ``a_M(v) + a_v(M)`` within the member set ``M``.
+
+    The ledger sums a freshly built round would carry: column sums plus
+    row sums of the member block (diagonal zero), aligned with
+    ``members``.  A set whose every entry clears the Algorithm-1
+    admission threshold of 1/2 is in particular feasible — each member's
+    in-affectance is at most 1/2 — which is what makes threshold-guarded
+    slot merges safe.
+    """
+    idx = np.asarray(members, dtype=int)
+    block = a[np.ix_(idx, idx)]
+    return block.sum(axis=0) + block.sum(axis=1)
 
 
 @dataclass(frozen=True)

@@ -37,7 +37,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.algorithms.context import SchedulingContext, check_context
-from repro.algorithms.repair import OnlineRepairScheduler
+from repro.algorithms.repair import (
+    CapacityRepairScheduler,
+    OnlineRepairScheduler,
+)
 from repro.core.affectance import feasible_within
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
@@ -149,6 +152,9 @@ class StabilityResult:
     #: Full re-anchors performed by the scheduler (``scheduler="rebuild"``
     #: re-anchors every event; ``"repair"`` never does).
     scheduler_rebuilds: int = 0
+    #: Slots merged away by opportunistic compaction
+    #: (``scheduler="capacity_repair"`` with ``compaction_every=``).
+    scheduler_merges: int = 0
 
     @property
     def drift(self) -> float:
@@ -182,6 +188,7 @@ def run_queue_simulation(
     churn: Sequence | None = None,
     scheduler: str = "policy",
     cascade: int = 1,
+    compaction_every: int | None = None,
 ) -> StabilityResult:
     """Simulate Bernoulli arrivals against a scheduling policy.
 
@@ -214,10 +221,25 @@ def run_queue_simulation(
         The same TDMA consumer, but the schedule is rebuilt from scratch
         (first-fit over the maintained matrices) after *every* churn
         event — the baseline repair is benchmarked against.
+    ``"capacity_repair"``
+        A :class:`~repro.algorithms.repair.CapacityRepairScheduler`
+        maintains *capacity-guaranteed* peeled slots
+        (``repeated_capacity`` anchors with the zeta-adaptive admission,
+        Algorithm-1 threshold probes per local placement) and repairs
+        locally; ``compaction_every=`` merges underfull slots
+        opportunistically.  Eviction costs are queue masses: the current
+        queue state is wired into the scheduler before every repaired
+        event, so cascades displace the links with the least backlog.
+    ``"capacity_rebuild"``
+        The capacity scheduler re-anchored (freeze + ``repeated_capacity``
+        over the maintained matrices — never an affectance rebuild)
+        after every event: the from-scratch baseline for
+        ``"capacity_repair"``.
 
     Scheduler runs report the final ``schedule_slots``, the
-    ``repair_ratio`` against a from-scratch first-fit, and the number of
-    ``scheduler_rebuilds`` in the result.
+    ``repair_ratio`` against a from-scratch schedule of the same family,
+    and the number of ``scheduler_rebuilds`` (plus ``scheduler_merges``
+    for compaction) in the result.
     """
     if not 0.0 <= arrival_rate <= 1.0:
         raise SimulationError("arrival rate must be in [0, 1]")
@@ -225,10 +247,21 @@ def run_queue_simulation(
         raise SimulationError("need at least one slot")
     if sample_every < 1:
         raise SimulationError("sample_every must be >= 1")
-    if scheduler not in ("policy", "repair", "rebuild"):
+    schedulers = (
+        "policy", "repair", "rebuild", "capacity_repair",
+        "capacity_rebuild",
+    )
+    if scheduler not in schedulers:
         raise SimulationError(
-            f"unknown scheduler {scheduler!r}; expected 'policy', "
-            "'repair' or 'rebuild'"
+            f"unknown scheduler {scheduler!r}; expected one of "
+            f"{', '.join(repr(s) for s in schedulers)}"
+        )
+    if compaction_every is not None and scheduler != "capacity_repair":
+        # In particular not "capacity_rebuild": compacting right after
+        # every re-anchor would silently turn the documented
+        # from-scratch baseline into a merged schedule.
+        raise SimulationError(
+            "compaction_every only applies to scheduler='capacity_repair'"
         )
     if scheduler != "policy" and policy is not lqf_policy:
         raise SimulationError(
@@ -265,15 +298,21 @@ def run_queue_simulation(
         a = dyn.raw_affectance  # padded; grows only if capacity doubles
         act = dyn.active_slots
         queues = np.zeros(dyn.capacity)
-    repairer = (
-        OnlineRepairScheduler(
+    if scheduler in ("capacity_repair", "capacity_rebuild"):
+        repairer = CapacityRepairScheduler(
+            dyn,
+            cascade=cascade,
+            rebuild_every=1 if scheduler == "capacity_rebuild" else None,
+            compaction_every=compaction_every,
+        )
+    elif scheduler in ("repair", "rebuild"):
+        repairer = OnlineRepairScheduler(
             dyn,
             cascade=cascade,
             rebuild_every=1 if scheduler == "rebuild" else None,
         )
-        if scheduler != "policy"
-        else None
-    )
+    else:
+        repairer = None
     delivered = 0
     dropped = 0
     applied = 0
@@ -286,6 +325,10 @@ def run_queue_simulation(
                 dropped += int(freed)
                 a = dyn.raw_affectance  # capacity growth reallocates it
                 if repairer is not None:
+                    # Priority-aware eviction: the queue masses are the
+                    # eviction costs, re-wired per event because
+                    # capacity growth reallocates the state vector.
+                    repairer.set_priorities(queues)
                     repairer.apply(arrived, departed)
             act = dyn.active_slots
         queues[act] += rng.random(act.size) < arrival_rate
@@ -327,5 +370,8 @@ def run_queue_simulation(
         ),
         scheduler_rebuilds=(
             repairer.stats.rebuilds if repairer is not None else 0
+        ),
+        scheduler_merges=(
+            repairer.stats.merged if repairer is not None else 0
         ),
     )

@@ -494,6 +494,7 @@ def poisson_churn(
     horizon: int = 400,
     churn_rate: float = 0.05,
     pool_factor: float = 2.0,
+    burst_size: int = 1,
     substrate: str = "dense_urban",
     **substrate_kwargs,
 ) -> DynamicScenario:
@@ -502,18 +503,30 @@ def poisson_churn(
     A pool of ``ceil(pool_factor * n_links)`` candidate links is drawn
     from the ``substrate`` scenario (default: the large-``n``
     ``dense_urban`` workload); the first ``n_links`` start active.  Each
-    slot, with probability ``churn_rate``, one replacement event fires: a
-    uniformly random active link departs and a uniformly random idle pool
-    link arrives — the population stays at ``n_links`` while its
-    composition drifts, the regime where incremental row/column updates
-    beat any rebuild.  Deterministic in ``seed``.
+    slot, with probability ``churn_rate``, one replacement event fires:
+    ``burst_size`` uniformly random active links depart and as many
+    uniformly random idle pool links arrive in one batch — the
+    population stays at ``n_links`` while its composition drifts, the
+    regime where incremental row/column updates beat any rebuild.
+    ``burst_size > 1`` concentrates the churn into heavier batches (the
+    workload that shreds maintained schedules into underfull slots —
+    what opportunistic compaction exists to repack) without changing
+    the long-run replacement volume per event count.  Deterministic in
+    ``seed``; ``burst_size=1`` reproduces the historical traces draw
+    for draw.
     """
     if horizon < 1:
         raise DecaySpaceError("horizon must be >= 1")
     if not 0.0 <= churn_rate <= 1.0:
         raise DecaySpaceError("churn_rate must be in [0, 1]")
+    if not 1 <= burst_size <= n_links:
+        raise DecaySpaceError(
+            f"burst_size must be in 1..{n_links}, got {burst_size}"
+        )
     rng = np.random.default_rng(seed)
-    pool_size = max(n_links + 1, int(np.ceil(pool_factor * n_links)))
+    pool_size = max(
+        n_links + burst_size, int(np.ceil(pool_factor * n_links))
+    )
     pool = build_scenario(
         substrate, n_links=pool_size, seed=seed, **substrate_kwargs
     )
@@ -529,18 +542,31 @@ def poisson_churn(
     for t in range(horizon):
         if rng.random() >= churn_rate:
             continue
-        victim = int(rng.integers(len(active)))
-        vid, vpool = active.pop(victim)
-        newcomer = int(rng.integers(len(idle)))
-        npool = idle.pop(newcomer)
-        idle.append(vpool)
+        arrivals: list[tuple[int, int]] = []
+        departures: list[int] = []
+        born: list[tuple[int, int]] = []
+        for _ in range(burst_size):
+            victim = int(rng.integers(len(active)))
+            vid, vpool = active.pop(victim)
+            newcomer = int(rng.integers(len(idle)))
+            npool = idle.pop(newcomer)
+            idle.append(vpool)
+            departures.append(vid)
+            arrivals.append(pairs[npool])
+            # Same-burst newcomers join the victim pool only after the
+            # event: an event's departures are applied before its
+            # arrivals, so departing a link born in the same event would
+            # be a malformed trace.
+            born.append((next_id, npool))
+            next_id += 1
+        active.extend(born)
         events.append(
             ChurnEvent(
-                slot=t, arrivals=(pairs[npool],), departures=(vid,)
+                slot=t,
+                arrivals=tuple(arrivals),
+                departures=tuple(departures),
             )
         )
-        active.append((next_id, npool))
-        next_id += 1
     return DynamicScenario(
         name="poisson_churn",
         space=pool.space,

@@ -26,6 +26,7 @@ from repro.core.decay import DecaySpace
 from repro.core.links import LinkSet
 from repro.errors import InfeasibleLinkError, LinkError, PowerError
 from repro.scenarios import build_scenario
+from tests.conftest import CHURN_EXAMPLES
 
 #: Registry scenarios the churn-identity property sweeps (>= 3, including
 #: an asymmetric space).
@@ -73,7 +74,7 @@ def _run_churn(
 class TestChurnIdentity:
     @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=10)
+    @settings(max_examples=CHURN_EXAMPLES)
     def test_matrices_byte_identical_after_churn(self, scenario, seed):
         links = build_scenario(scenario, n_links=12, seed=3)
         dyn = _run_churn(links, seed, events=25, materialize_dist=True)
@@ -87,7 +88,7 @@ class TestChurnIdentity:
 
     @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=6)
+    @settings(max_examples=CHURN_EXAMPLES)
     def test_schedules_byte_identical_after_churn(self, scenario, seed):
         links = build_scenario(scenario, n_links=12, seed=3)
         dyn = _run_churn(links, seed, events=20, materialize_dist=False)
@@ -103,7 +104,7 @@ class TestChurnIdentity:
 
     @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=10)
+    @settings(max_examples=CHURN_EXAMPLES)
     def test_ledger_sums_track_fresh_sums(self, scenario, seed):
         links = build_scenario(scenario, n_links=12, seed=3)
         dyn = _run_churn(links, seed, events=25, materialize_dist=False)
@@ -154,7 +155,7 @@ class TestBatchedArrivals:
 
     @pytest.mark.parametrize("scenario", IDENTITY_SCENARIOS)
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=8)
+    @settings(max_examples=CHURN_EXAMPLES)
     def test_batch_identical_to_sequential(self, scenario, seed):
         links = build_scenario(scenario, n_links=14, seed=3)
         pairs = [(l.sender, l.receiver) for l in links]

@@ -19,39 +19,39 @@ from hypothesis import strategies as st
 
 from repro.algorithms.context import DynamicContext, SchedulingContext
 from repro.algorithms.repair import OnlineRepairScheduler
-from repro.core.affectance import in_affectances_within
-from repro.core.links import LinkSet
+from repro.core.decay import DecaySpace
+from repro.dynamics import ChurnDriver, ChurnEvent, DynamicScenario
 from repro.errors import LinkError
 from repro.scenarios import build_dynamic_scenario, build_scenario
+from tests.algorithms.repair_helpers import (
+    assert_feasible_from_scratch as _assert_feasible_from_scratch,
+    fresh_context as _fresh_context,
+    replay_random_churn,
+)
+from tests.conftest import CHURN_EXAMPLES
 
 #: Scenarios the repair property sweeps: geometric, hotspot-dense, and
 #: an asymmetric space (distinct in/out affectance rows).
 REPAIR_SCENARIOS = ("planar_uniform", "clustered", "asymmetric_measured")
 
 
-def _fresh_context(dyn: DynamicContext) -> tuple[SchedulingContext, dict]:
-    """A from-scratch context over the active links + slot remapping."""
-    act = dyn.active_slots
-    pairs = [(int(dyn.senders[s]), int(dyn.receivers[s])) for s in act]
-    remap = {int(s): i for i, s in enumerate(act)}
-    ctx = SchedulingContext(
-        LinkSet(dyn.space, pairs),
-        dyn.powers[act].copy(),
-        noise=dyn.noise,
-        beta=dyn.beta,
-    )
-    return ctx, remap
+def _conflict_instance() -> DynamicContext:
+    """Two co-slotted links L0 (short) and L1 (longer) plus a pending
+    arrival L2 = (4, 5) that conflicts with both together but fits with
+    either alone — evicting exactly one of them admits it.
 
-
-def _assert_feasible_from_scratch(
-    rs: OnlineRepairScheduler, dyn: DynamicContext
-) -> None:
-    """Every repaired slot passes the exact check on a fresh context."""
-    ctx, remap = _fresh_context(dyn)
-    a = ctx.raw_affectance
-    for slot in rs.schedule.slots:
-        idx = [remap[v] for v in slot]
-        assert np.all(in_affectances_within(a, idx) <= 1.0)
+    Decays are hand-built so the affectance is controlled: cross decays
+    of 1000 make everything negligible except L0/L1's interference onto
+    L2's receiver (0.625 each, so 1.25 > 1 jointly, feasible singly).
+    """
+    f = np.full((6, 6), 1000.0)
+    np.fill_diagonal(f, 0.0)
+    f[0, 1] = f[1, 0] = 1.0  # L0 = (0, 1), the shortest link
+    f[2, 3] = f[3, 2] = 1.1  # L1 = (2, 3)
+    f[4, 5] = f[5, 4] = 1.0  # L2 = (4, 5), the conflicting arrival
+    f[0, 5] = f[5, 0] = 1.6  # a_L0(L2) = 1.0 / 1.6 = 0.625
+    f[2, 5] = f[5, 2] = 1.6  # a_L1(L2) = 0.625
+    return DynamicContext(DecaySpace(f), [(0, 1), (2, 3)])
 
 
 def _churn_with_repair(
@@ -65,34 +65,14 @@ def _churn_with_repair(
     rs = OnlineRepairScheduler(
         dyn, cascade=cascade, rebuild_every=rebuild_every
     )
-    rng = np.random.default_rng(seed)
-    alive = list(range(8))
-    nxt = 8
-    for _ in range(events):
-        if rng.random() < 0.5 or len(alive) <= 3:
-            batch = [
-                pairs[(nxt + j) % len(pairs)]
-                for j in range(int(rng.integers(1, 4)))
-            ]
-            nxt += len(batch)
-            slots = dyn.add_links(batch)
-            alive.extend(slots)
-            rs.apply(slots, [])
-        else:
-            count = min(int(rng.integers(1, 3)), len(alive) - 1)
-            gone = [
-                alive.pop(int(rng.integers(len(alive))))
-                for _ in range(count)
-            ]
-            dyn.remove_links(gone)
-            rs.apply([], gone)
+    alive = replay_random_churn(dyn, rs, pairs, seed, events)
     return dyn, rs, alive
 
 
 class TestRepairInvariant:
     @pytest.mark.parametrize("scenario", REPAIR_SCENARIOS)
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=CHURN_EXAMPLES, deadline=None)
     def test_feasible_after_any_trace(self, scenario, seed):
         dyn, rs, alive = _churn_with_repair(
             scenario, seed, events=25, cascade=1
@@ -103,7 +83,7 @@ class TestRepairInvariant:
 
     @pytest.mark.parametrize("cascade", (0, 2))
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=5, deadline=None)
+    @settings(max_examples=CHURN_EXAMPLES, deadline=None)
     def test_cascade_depths_preserve_feasibility(self, cascade, seed):
         dyn, rs, alive = _churn_with_repair(
             "clustered", seed, events=25, cascade=cascade
@@ -113,7 +93,7 @@ class TestRepairInvariant:
         _assert_feasible_from_scratch(rs, dyn)
 
     @given(seed=st.integers(0, 2**16))
-    @settings(max_examples=5, deadline=None)
+    @settings(max_examples=CHURN_EXAMPLES, deadline=None)
     def test_rebuild_every_event_matches_fresh_first_fit(self, seed):
         """rebuild_every=1 is the per-event-rebuild baseline: after the
         trace its schedule equals a from-scratch first-fit exactly."""
@@ -244,6 +224,175 @@ class TestRepairMechanics:
             rs.on_departures([99])  # never scheduled
         with pytest.raises(LinkError):
             rs.on_arrivals([0])  # already scheduled
+
+    def test_priority_eviction_prefers_low_queue_mass(self):
+        """With priorities wired, the cascade evicts the candidate with
+        the smallest queue mass instead of the shortest link."""
+        dyn = _conflict_instance()
+        rs = OnlineRepairScheduler(dyn, cascade=1)
+        assert rs.schedule.slots == ((0, 1),)
+        slot = dyn.add_link(4, 5)
+        rs.apply([slot], [])
+        # Default (no priorities): the shorter link L0 is evicted.
+        assert rs.stats.evictions == 1
+        assert rs.schedule.slot_of(0) != rs.schedule.slot_of(slot)
+        assert rs.schedule.slot_of(1) == rs.schedule.slot_of(slot)
+        assert rs.check()
+
+        # Replay with queue masses making L0 expensive: L1 is evicted.
+        dyn2 = _conflict_instance()
+        rs2 = OnlineRepairScheduler(dyn2, cascade=1)
+        weights = np.zeros(dyn2.capacity)
+        weights[0] = 5.0  # L0 carries backlog
+        weights[1] = 0.1
+        rs2.set_priorities(weights)
+        slot2 = dyn2.add_link(4, 5)
+        rs2.apply([slot2], [])
+        assert rs2.stats.evictions == 1
+        assert rs2.schedule.slot_of(0) == rs2.schedule.slot_of(slot2)
+        assert rs2.schedule.slot_of(1) != rs2.schedule.slot_of(slot2)
+        assert rs2.check()
+
+    def test_max_slots_overflow_defers_instead_of_overallocating(self):
+        """Regression: a link that fails placement everywhere under the
+        ``max_slots`` bound is queued for the next event and recorded —
+        never silently given a fresh over-budget singleton slot."""
+        dyn = _conflict_instance()
+        rs = OnlineRepairScheduler(dyn, cascade=0, max_slots=1)
+        slot = dyn.add_link(4, 5)
+        rs.apply([slot], [])
+        assert rs.slot_count == 1  # no over-allocation
+        assert rs.deferred == (slot,)
+        assert rs.stats.deferred == 1
+        assert rs.stats.opened == 0
+        assert slot not in rs.schedule.all_links()
+        assert rs.check()
+        # A departure makes room; the deferred link is retried first.
+        dyn.remove_links([0])
+        rs.apply([], [0])
+        assert rs.deferred == ()
+        assert rs.schedule.all_links() == (1, slot)
+        assert rs.slot_count == 1
+        assert rs.check()
+
+    def test_max_slots_not_bypassed_through_emptied_slot_entry(self):
+        """Regression: reusing an *emptied* slot entry grows the
+        non-empty count exactly like opening a new slot, so at the
+        ``max_slots`` bound a conflicting arrival must be deferred —
+        not slipped into the first slot that happened to drain."""
+        f = np.full((6, 6), 1000.0)
+        np.fill_diagonal(f, 0.0)
+        f[0, 1] = f[1, 0] = 1.0  # L0 = (0, 1)
+        f[2, 3] = f[3, 2] = 1.1  # L1 = (2, 3), conflicts with L0
+        f[4, 5] = f[5, 4] = 1.0  # L2 = (4, 5), conflicts with L0
+        f[0, 3] = f[3, 0] = 0.9  # a_L0(L1) = 1.1 / 0.9 > 1
+        f[0, 5] = f[5, 0] = 0.8  # a_L0(L2) = 1.0 / 0.8 > 1
+        dyn = DynamicContext(DecaySpace(f), [(0, 1), (2, 3)])
+        rs = OnlineRepairScheduler(dyn, cascade=0, max_slots=1)
+        assert len(rs.schedule.slots) == 2  # the anchor is not gated
+        # Drain slot 1, leaving an empty reusable entry behind.
+        dyn.remove_links([1])
+        rs.apply([], [1])
+        assert rs.slot_count == 1
+        # The conflicting arrival must not resurrect the empty entry.
+        slot = dyn.add_link(4, 5)
+        rs.apply([slot], [])
+        assert rs.slot_count == 1
+        assert rs.deferred == (slot,)
+        assert rs.stats.deferred == 1
+        assert rs.check()
+
+    def test_max_slots_deferred_evictee_rejoins_after_rebuild(self):
+        """An eviction cascade that cannot re-place the evictee under
+        ``max_slots`` defers it; a rebuild anchor schedules everything
+        again (the bound gates only local growth)."""
+        dyn = _conflict_instance()
+        rs = OnlineRepairScheduler(
+            dyn, cascade=1, max_slots=1, rebuild_every=2
+        )
+        slot = dyn.add_link(4, 5)
+        rs.apply([slot], [])
+        # The arrival displaced L0, which fits nowhere within the bound.
+        assert rs.stats.evictions == 1
+        assert rs.deferred == (0,)
+        assert sorted(rs.schedule.all_links()) == [1, slot]
+        # The second event triggers the re-anchor: all three links are
+        # scheduled from scratch and the deferred queue is cleared.
+        extra = dyn.add_link(0, 1)
+        rs.apply([extra], [])
+        assert rs.stats.rebuilds == 1
+        assert rs.deferred == ()
+        assert rs.schedule.all_links() == tuple(
+            sorted([0, 1, slot, extra])
+        )
+
+    def test_max_evictions_caps_cascades_per_event(self):
+        """No event spends more than ``max_evictions`` evictions, no
+        matter how many arrivals it batches or how deep the per-arrival
+        cascade budget is."""
+        links = build_scenario("clustered", n_links=16, seed=4)
+        pairs = [(l.sender, l.receiver) for l in links]
+        for seed in range(8):
+            dyn = DynamicContext(links.space, pairs[:8])
+            rs = OnlineRepairScheduler(dyn, cascade=3, max_evictions=1)
+            prev = [0]
+
+            def bounded(rs, dyn, alive):
+                assert rs.stats.evictions - prev[0] <= 1
+                prev[0] = rs.stats.evictions
+                assert rs.check()
+
+            alive = replay_random_churn(
+                dyn, rs, pairs, seed, 25, on_event=bounded
+            )
+            assert rs.schedule.all_links() == tuple(sorted(alive))
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=CHURN_EXAMPLES, deadline=None)
+    def test_competitive_ratio_exact_vs_replayed_baseline(self, seed):
+        """competitive_ratio() equals maintained slots over a replayed
+        from-scratch first-fit on a freshly built context, exactly."""
+        dyn, rs, _ = _churn_with_repair(
+            "planar_uniform", seed, events=20, cascade=1
+        )
+        ctx, _ = _fresh_context(dyn)
+        expected = rs.slot_count / len(ctx.first_fit())
+        assert rs.competitive_ratio() == expected
+
+    def test_duplicate_slot_ids_in_one_driver_batch_roundtrip(self):
+        """A ChurnDriver step batching several events can reuse a slot
+        repeatedly (add/remove/move with duplicate slot ids in the
+        flattened lists); apply() must reconcile the net effect."""
+        links = build_scenario("planar_uniform", n_links=10, seed=7)
+        pairs = [(l.sender, l.receiver) for l in links]
+        scenario = DynamicScenario(
+            name="dup-batch",
+            space=links.space,
+            initial=tuple(pairs[:6]),
+            events=(
+                # id 2 departs, pairs[6] arrives (id 6, reuses slot 2)
+                ChurnEvent(0, arrivals=(pairs[6],), departures=(2,)),
+                # id 6 departs again (same slot), two arrivals: id 7
+                # reuses slot 2, id 8 opens a new slot
+                ChurnEvent(
+                    0, arrivals=(pairs[7], pairs[8]), departures=(6,)
+                ),
+                # a move: id 0 departs and pairs[9] arrives in its slot
+                ChurnEvent(0, arrivals=(pairs[9],), departures=(0,)),
+            ),
+            horizon=1,
+        )
+        dyn = DynamicContext(links.space, pairs[:6])
+        rs = OnlineRepairScheduler(dyn)
+        driver = ChurnDriver(dyn, scenario)
+        arrived, departed = driver.step(0)
+        # The flattened batch carries slot 2 twice on both sides.
+        assert sorted(departed).count(2) == 2
+        assert sorted(arrived).count(2) == 2
+        rs.apply(arrived, departed)
+        assert rs.check()
+        assert rs.schedule.all_links() == tuple(dyn.active_slots)
+        assert dyn.m == 7  # 6 initial - 3 departed + 4 arrived
 
     def test_active_schedule_cached_and_refreshed(self):
         dyn, links = self._dyn()

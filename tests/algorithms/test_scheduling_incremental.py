@@ -155,6 +155,63 @@ class TestRepeatedCapacityIncremental:
         assert schedule.slots == pr1_repeated_capacity(links, separation=True)
 
 
+class TestAdaptiveAnchorsUnderChurn:
+    """Cross-validation of the capacity-repair anchors: under churn,
+    ``admission="adaptive"`` re-anchors (freeze-injected matrices, never
+    a rebuild) must equal the *static* adaptive schedule computed on a
+    freshly built :class:`SchedulingContext` over the surviving links —
+    at every ``rebuild_every`` anchor, on both a high-zeta walled space
+    and the dense urban workload."""
+
+    @pytest.mark.parametrize("scenario", ["corridor", "dense_urban"])
+    @pytest.mark.parametrize("rebuild_every", [1, 3])
+    def test_adaptive_anchor_matches_static_schedule(
+        self, scenario, rebuild_every
+    ):
+        from repro.algorithms.context import DynamicContext
+        from repro.algorithms.repair import CapacityRepairScheduler
+
+        links = build_scenario(scenario, n_links=16, seed=2)
+        pairs = [(l.sender, l.receiver) for l in links]
+        dyn = DynamicContext(links.space, pairs[:10])
+        rs = CapacityRepairScheduler(
+            dyn, admission="adaptive", rebuild_every=rebuild_every
+        )
+        rng = np.random.default_rng(11)
+        alive = list(range(10))
+        nxt = 10
+        for _ in range(9):
+            if rng.random() < 0.5 or len(alive) <= 4:
+                batch = [pairs[nxt % len(pairs)]]
+                nxt += 1
+                slots = dyn.add_links(batch)
+                alive.extend(slots)
+                rs.apply(slots, [])
+            else:
+                gone = [alive.pop(int(rng.integers(len(alive))))]
+                dyn.remove_links(gone)
+                rs.apply([], gone)
+            if rs.stats.events % rebuild_every != 0:
+                continue
+            # This event re-anchored: the maintained schedule must be
+            # the static adaptive schedule of the surviving links.
+            act = [int(s) for s in dyn.active_slots]
+            fresh_links = LinkSet(
+                links.space,
+                [
+                    (int(dyn.senders[s]), int(dyn.receivers[s]))
+                    for s in act
+                ],
+            )
+            fresh = SchedulingContext(fresh_links).repeated_capacity(
+                admission="adaptive"
+            )
+            expected = tuple(
+                tuple(sorted(act[i] for i in slot)) for slot in fresh
+            )
+            assert rs.schedule.slots == expected
+
+
 class TestFirstFitLedger:
     @pytest.mark.parametrize("scenario", SCENARIOS)
     @pytest.mark.parametrize("seed", SEEDS)

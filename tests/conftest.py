@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -9,7 +11,19 @@ from hypothesis import HealthCheck, settings
 from repro.core.decay import DecaySpace
 from repro.core.links import LinkSet
 
-# Keep property-based tests fast and deterministic in CI.
+# Hypothesis profiles.  Both are derandomized (fixed example sequence per
+# test, no shared-database flakiness), so the churn-trace suites are
+# deterministic everywhere; the profiles differ only in depth:
+#
+# ``repro``
+#     The tier-1 default: a small example budget keeps the suite fast on
+#     every push.
+# ``nightly``
+#     The deep sweep the scheduled CI job runs: a 10x example budget for
+#     the property suites (churn traces, batched-arrival identities,
+#     repair invariants) that tier-1 only samples.
+#
+# Select with ``HYPOTHESIS_PROFILE=nightly`` (defaults to ``repro``).
 settings.register_profile(
     "repro",
     max_examples=25,
@@ -17,7 +31,26 @@ settings.register_profile(
     derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "nightly",
+    max_examples=250,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+#: Example budget for the heavy churn-trace property suites (each
+#: example replays a whole churn trace with from-scratch cross-checks):
+#: a fifth of the active profile's budget, so tier-1 stays cheap while
+#: the nightly profile deepens the sweeps ~10x.  Computed at conftest
+#: import from the profile the env var selected — the env var is the
+#: *only* lever for these suites: pytest's ``--hypothesis-profile``
+#: flag loads after this module is imported, and per-test
+#: ``@settings(max_examples=CHURN_EXAMPLES)`` overrides a profile's
+#: budget anyway, so the CLI flag cannot deepen them.
+CHURN_EXAMPLES = max(5, settings.default.max_examples // 5)
 
 
 @pytest.fixture

@@ -39,17 +39,21 @@ class TestE16Aggregation:
         table = stability_table(n_links=8, slots=2500)
         drifts = table.column("LQF drift")
         # Stable at half load, unstable at 1.5x (row 2); the trailing
-        # rows are the waypoint-churn run and the repair-TDMA run at
-        # half load, which must both stay stable.
+        # rows are the waypoint-churn run, the repair-TDMA run, and the
+        # capacity-repair TDMA run at half load — all must stay stable.
         assert drifts[0] < 0.1
         assert drifts[2] > 0.1
         labels = table.column("load (x 1/T)")
-        assert labels[-2] == "0.5 (waypoint churn)"
-        assert labels[-1] == "0.5 (churn, repair TDMA)"
+        assert labels[-3] == "0.5 (waypoint churn)"
+        assert labels[-2] == "0.5 (churn, repair TDMA)"
+        assert labels[-1] == "0.5 (churn, capacity TDMA)"
+        assert drifts[-3] < 0.1
         assert drifts[-2] < 0.1
         assert drifts[-1] < 0.1
         rnd = table.column("random drift")
         assert rnd[2] >= drifts[0]
-        # The per-event-rebuild TDMA baseline (repair row, last column)
-        # is stable too — repair loses nothing to full rebuilds here.
+        # The per-event-rebuild TDMA baselines (repair and capacity
+        # rows, last column) are stable too — repair loses nothing to
+        # full rebuilds here.
+        assert rnd[-2] < 0.1
         assert rnd[-1] < 0.1

@@ -175,6 +175,7 @@ class TestE12E13Distributed:
             "planar_uniform",
             "poisson_churn",
             "poisson_churn (repair)",
+            "poisson_churn (capacity repair)",
         ]
         for frac in table.column("best/centralized"):
             assert frac >= 0.5

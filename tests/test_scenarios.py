@@ -10,7 +10,7 @@ from repro.algorithms.capacity_general import (
     capacity_general_metric,
     capacity_strongest_first,
 )
-from repro.algorithms.context import SchedulingContext
+from repro.algorithms.context import DynamicContext, SchedulingContext
 from repro.algorithms.scheduling import (
     schedule_first_fit,
     schedule_repeated_capacity,
@@ -19,7 +19,7 @@ from repro.core.feasibility import is_feasible
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
 from repro.errors import DecaySpaceError
-from repro.dynamics import DynamicScenario
+from repro.dynamics import ChurnDriver, DynamicScenario
 from repro.scenarios import (
     DYNAMIC_SCENARIOS,
     SCENARIOS,
@@ -222,6 +222,37 @@ class TestDynamicScenarioShapes:
             "poisson_churn", n_links=6, seed=2, substrate="clustered"
         )
         assert scn.m0 == 6
+
+    def test_poisson_churn_burst_size(self):
+        """burst_size batches the replacement volume into heavier
+        events; burst_size=1 reproduces the historical traces draw for
+        draw, and bursty traces replay cleanly (no same-event departure
+        of a same-event arrival)."""
+        base = build_dynamic_scenario(
+            "poisson_churn", n_links=10, seed=3, churn_rate=0.3,
+            substrate="planar_uniform",
+        )
+        one = build_dynamic_scenario(
+            "poisson_churn", n_links=10, seed=3, churn_rate=0.3,
+            burst_size=1, substrate="planar_uniform",
+        )
+        assert one.events == base.events
+        burst = build_dynamic_scenario(
+            "poisson_churn", n_links=10, seed=3, churn_rate=0.3,
+            burst_size=3, substrate="planar_uniform",
+        )
+        for ev in burst.events:
+            assert len(ev.arrivals) == len(ev.departures) == 3
+        dyn = DynamicContext(burst.space, list(burst.initial))
+        driver = ChurnDriver(dyn, burst)
+        driver.step(burst.horizon)
+        assert driver.exhausted
+        assert dyn.m == 10
+        with pytest.raises(DecaySpaceError):
+            build_dynamic_scenario(
+                "poisson_churn", n_links=10, seed=3, burst_size=0,
+                substrate="planar_uniform",
+            )
 
 
 class TestStreamedSuperSpace:
