@@ -76,6 +76,14 @@ from repro.algorithms.context import (
     slot_admission_sums,
 )
 from repro.core.affectance import in_affectances_within
+from repro.core.affectance_sparse import (
+    add_row_to,
+    dense_row,
+    gather_col,
+    gather_row,
+    member_block,
+    rows_sum,
+)
 from repro.errors import LinkError
 
 __all__ = [
@@ -374,7 +382,7 @@ class OnlineRepairScheduler:
         if v is None or v.shape[0] != cap:
             members = self._member_array(t)
             a = self.dyn.raw_affectance
-            v = a[members].sum(axis=0) if members.size else np.zeros(cap)
+            v = rows_sum(a, members) if members.size else np.zeros(cap)
             self._in_sum[t] = v
         return v
 
@@ -401,16 +409,18 @@ class OnlineRepairScheduler:
         """
         a = self.dyn.raw_affectance
         members = self._member_array(t)
-        iv = float(a[members, v].sum())
+        iv = float(gather_col(a, members, v).sum())
         if iv > 1.0:
             return False
         ledger = self._ledger(t)
-        if members.size and np.any(ledger[members] + a[v, members] > 1.0):
+        if members.size and np.any(
+            ledger[members] + gather_row(a, v, members) > 1.0
+        ):
             return False
         if not self._admits(v, members):
             return False
-        ledger[v] = iv  # fresh value; the += below leaves it intact
-        ledger += a[v]
+        ledger[v] = iv  # fresh value; the row add below leaves it intact
+        add_row_to(ledger, a, v)
         self._members[t].add(v)
         self._slot_of[v] = t
         return True
@@ -456,7 +466,7 @@ class OnlineRepairScheduler:
             self.stats.deferred += 1
             return False
         self._members.append({v})
-        self._in_sum.append(self.dyn.raw_affectance[v].copy())
+        self._in_sum.append(dense_row(self.dyn.raw_affectance, v))
         self._slot_of[v] = len(self._members) - 1
         self.stats.opened += 1
         return True
@@ -468,8 +478,15 @@ class OnlineRepairScheduler:
 
         ``col`` is ``a[members, v]`` and ``iv`` its sum; the base rule
         is the candidate side of exact feasibility without the leaver.
+        An infinite blocker (raw affectance is ``inf`` when a member's
+        sender sits on ``v``'s receiver) makes the subtraction NaN; the
+        comparison is then False — a conservative refusal to evict,
+        since removing one of several infinite blockers cannot help and
+        the subtraction shortcut cannot tell that case from the last
+        one.
         """
-        return iv - col <= 1.0
+        with np.errstate(invalid="ignore"):
+            return iv - col <= 1.0
 
     def _eviction_key(self, u: int, t: int) -> tuple:
         """Total order on eviction candidates; smallest wins.
@@ -491,9 +508,12 @@ class OnlineRepairScheduler:
 
         For each slot, a member ``u`` is a candidate when the slot minus
         ``u`` plus ``v`` passes the exact feasibility rule (and any
-        subclass admission rule); the check runs as one
-        (members x members) comparison per slot.  Cheapest: smallest
-        :meth:`_eviction_key`.
+        subclass admission rule).  Only *hot* members — those whose load
+        with ``v`` added exceeds 1 — can veto anyone (``base[w] <= 1``
+        stays ``<= 1`` after subtracting a nonnegative affectance), so
+        the check materializes just the (members x hot) comparison per
+        slot; the booleans match the full (members x members) sweep
+        exactly.  Cheapest: smallest :meth:`_eviction_key`.
         """
         a = self.dyn.raw_affectance
         best: tuple | None = None  # (key, t, u)
@@ -501,16 +521,20 @@ class OnlineRepairScheduler:
             if not member_set:
                 continue
             members = self._member_array(t)
-            col = a[members, v]
+            col = gather_col(a, members, v)
             iv = col.sum()
             ledger = self._ledger(t)
-            base = ledger[members] + a[v, members]
-            block = a[np.ix_(members, members)]
-            ok = base[None, :] - block <= 1.0  # [u, w]: w's load sans u
-            np.fill_diagonal(ok, True)  # u itself is leaving
-            feasible = ok.all(axis=1) & self._eviction_mask(
-                v, members, col, float(iv)
-            )
+            base = ledger[members] + gather_row(a, v, members)
+            hot = np.flatnonzero(base > 1.0)
+            feasible = self._eviction_mask(v, members, col, float(iv))
+            if hot.size:
+                block = member_block(a, members, members[hot])
+                with np.errstate(invalid="ignore"):
+                    # inf - inf -> NaN -> False: conservative refusal,
+                    # same contract as the base _eviction_mask.
+                    ok = base[hot][None, :] - block <= 1.0  # [u, w-hot]
+                ok[hot, np.arange(hot.size)] = True  # u itself is leaving
+                feasible &= ok.all(axis=1)
             for i in np.flatnonzero(feasible):
                 u = int(members[i])
                 key = self._eviction_key(u, t)
@@ -553,7 +577,7 @@ class OnlineRepairScheduler:
         sums: list[np.ndarray] = []
         for v in order:
             v = int(v)
-            av = a[v]
+            av = dense_row(a, v)
             for t, slot in enumerate(slots):
                 in_aff = sums[t]
                 if in_aff[v] > 1.0:
@@ -564,7 +588,7 @@ class OnlineRepairScheduler:
                     break
             else:
                 slots.append([v])
-                sums.append(av.copy())
+                sums.append(av)
         return slots
 
     def _install(self, slots: list[list[int]]) -> None:
@@ -649,10 +673,12 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
         self.admission = admission
         self.compaction_every = compaction_every
         self.compaction_probes = compaction_probes
-        if admission != "general" and dyn.m:
+        if admission != "general" and dyn.m and not dyn.is_sparse:
             # Materialize the padded distance matrix once: the context
             # then maintains it incrementally per event, and freeze()
             # injects it, so anchors never recompute distances either.
+            # (The sparse backend has no padded distance matrix; its
+            # anchors build sparse link distances inside freeze().)
             dyn.link_distances
         super().__init__(
             dyn,
@@ -699,8 +725,8 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
         if not members.size:
             return mask
         ac = self.dyn.affectance
-        col_c = ac[members, v]
-        row_c = ac[v, members]
+        col_c = gather_col(ac, members, v)
+        row_c = gather_row(ac, v, members)
         combined_without = (
             (col_c.sum() - col_c) + (row_c.sum() - row_c)
         )

@@ -26,6 +26,7 @@ from repro.errors import InfeasibleLinkError, PowerError
 
 __all__ = [
     "noise_constants",
+    "noise_constants_from_lengths",
     "affectance_matrix",
     "in_affectance",
     "out_affectance",
@@ -33,6 +34,36 @@ __all__ = [
     "feasible_within",
     "total_affectance",
 ]
+
+
+def noise_constants_from_lengths(
+    lengths: np.ndarray,
+    powers: np.ndarray,
+    noise: float = 0.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """``c_v`` from signal decays directly (no :class:`LinkSet` needed).
+
+    The single implementation of the Sec. 2.4 formula
+    ``c_v = beta / (1 - beta * N * f_vv / P_v)``; the sparse backend calls
+    it with O(m) lengths so no cross-decay matrix is ever built.
+    """
+    if beta <= 0:
+        raise PowerError(f"beta must be positive, got {beta}")
+    if noise < 0:
+        raise PowerError(f"noise must be non-negative, got {noise}")
+    lens = np.asarray(lengths, dtype=float)
+    p = np.asarray(powers, dtype=float)
+    if p.shape != lens.shape:
+        raise PowerError(f"power vector must have shape {lens.shape}")
+    slack = 1.0 - beta * noise * lens / p
+    if np.any(slack <= 0):
+        bad = int(np.argmin(slack))
+        raise InfeasibleLinkError(
+            f"link {bad} cannot overcome ambient noise: "
+            f"P/f_vv = {p[bad] / lens[bad]:.4g} <= beta*N = {beta * noise:.4g}"
+        )
+    return beta / slack
 
 
 def noise_constants(
@@ -47,21 +78,12 @@ def noise_constants(
     :class:`InfeasibleLinkError` when some link cannot reach SINR ``beta``
     even in isolation (``P_v / f_vv <= beta * N``).
     """
-    if beta <= 0:
-        raise PowerError(f"beta must be positive, got {beta}")
-    if noise < 0:
-        raise PowerError(f"noise must be non-negative, got {noise}")
     p = np.asarray(powers, dtype=float)
     if p.shape != (links.m,):
         raise PowerError(f"power vector must have shape ({links.m},)")
-    slack = 1.0 - beta * noise * links.lengths / p
-    if np.any(slack <= 0):
-        bad = int(np.argmin(slack))
-        raise InfeasibleLinkError(
-            f"link {bad} cannot overcome ambient noise: "
-            f"P/f_vv = {p[bad] / links.length(bad):.4g} <= beta*N = {beta * noise:.4g}"
-        )
-    return beta / slack
+    return noise_constants_from_lengths(
+        links.lengths, p, noise=noise, beta=beta
+    )
 
 
 def affectance_matrix(
@@ -113,8 +135,16 @@ def out_affectance(
 def in_affectances_within(
     a: np.ndarray, subset: np.ndarray | list[int]
 ) -> np.ndarray:
-    """Vector of ``a_S(v)`` for every ``v`` in ``subset`` (aligned to it)."""
+    """Vector of ``a_S(v)`` for every ``v`` in ``subset`` (aligned to it).
+
+    ``a`` is either a dense affectance matrix or a sparse view from
+    :mod:`repro.core.affectance_sparse` (which computes the same member
+    block — identical float-for-float whenever the sparse pattern holds
+    every pair of the subset).
+    """
     idx = np.asarray(subset, dtype=int)
+    if not isinstance(a, np.ndarray):
+        return a.in_affectances_within(idx)
     sub = a[np.ix_(idx, idx)]
     return sub.sum(axis=0)
 

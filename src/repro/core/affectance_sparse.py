@@ -1,0 +1,739 @@
+"""Sparse thresholded affectance with certified tail bounds.
+
+The dense backend stores every ``a_w(v)`` in an ``(m, m)`` matrix — the
+O(m^2) memory wall the ROADMAP's scale item names.  Under decaying signal
+strength, far pairs contribute vanishing affectance, so this module keeps
+only the pairs whose sender-to-receiver distance is within an interaction
+radius ``R`` and *certifies* what was dropped:
+
+    tail_in(v)  >= sum over dropped w of a_w(v)
+    tail_out(v) >= sum over dropped w of a_v(w)
+
+via the cell-count far-field tables of
+:class:`repro.geometry.cells.CellIndex` and the decay envelope
+``f >= floor * d^alpha`` recorded in the space's
+:class:`~repro.core.decay.SpaceGeometry`.  The builder grows ``R``
+(doubling) until ``max_v tail_in(v) + tail_out(v) <= eps``; when ``R``
+reaches the bounding-box diameter the pattern is complete and the tails
+are exactly zero — the regime the dense-identity test suites run in.
+
+Storage is CSR + CSC over link indices (row = acting link ``w``, column =
+affected link ``v`` — the dense convention), with raw and clipped value
+arrays sharing one pattern.  :class:`_SparseView` exposes one value layer
+through the access idioms the scheduling kernels use on dense matrices
+(row/column gathers, member blocks, row-set sums); wherever the kernels
+compare decisions against the dense path, the view materializes the dense
+sub-block and reduces it with the same numpy summation, so a complete
+pattern reproduces the dense floats bit for bit.
+
+Link quasi-distances get the same treatment in
+:class:`SparseLinkDistances`, with a stronger guarantee: the admission
+scan only ever asks whether ``min_w d(l_v, l_w) < (zeta/2) d_vv``, and
+every pair below the stored radius is kept exactly, so separation
+decisions are *always* identical to dense — no epsilon involved.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.affectance import noise_constants_from_lengths
+from repro.core.links import LinkSet
+from repro.errors import LinkError
+
+__all__ = [
+    "SparseAffectance",
+    "SparseLinkDistances",
+    "build_sparse_affectance",
+    "build_sparse_link_distances",
+    "gather_row",
+    "gather_col",
+    "dense_row",
+    "rows_sum",
+    "member_block",
+    "add_row_to",
+]
+
+#: Largest dense scratch block (in float64 entries) the sparse kernels
+#: will materialize to reproduce dense numpy reductions bit-for-bit.
+#: Beyond it they fall back to sequential scatter accumulation (same
+#: values, possibly different rounding order) — only reachable far outside
+#: the dense cross-check regime.
+_DENSE_BLOCK_LIMIT = 1 << 22
+
+#: Hard cap on the link count for which a complete (all-pairs) pattern may
+#: be assembled when the certified radius reaches the instance diameter.
+_FULL_PATTERN_LIMIT = 4096
+
+
+class _SparseView:
+    """One value layer (raw or clipped) of a sparse pattern.
+
+    Subclasses provide ``n`` (padded size), ``row(v)`` and ``col(v)``
+    returning ``(indices, values)`` with indices strictly increasing; the
+    generic kernels below express every dense access idiom the schedulers
+    use in terms of those two.
+    """
+
+    __slots__ = ()
+
+    # -- to be provided by concrete views --------------------------------
+    @property
+    def n(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def row(self, v: int) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        raise NotImplementedError
+
+    def col(self, v: int) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- generic kernels --------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def gather_row(self, v: int, cols: np.ndarray) -> np.ndarray:
+        """``a[v, cols]`` — zeros at unstored positions."""
+        cols = np.asarray(cols, dtype=int)
+        idx, val = self.row(int(v))
+        out = np.zeros(cols.size)
+        if idx.size:
+            pos = np.searchsorted(idx, cols)
+            pos_c = np.minimum(pos, idx.size - 1)
+            hit = idx[pos_c] == cols
+            out[hit] = val[pos_c[hit]]
+        return out
+
+    def gather_col(self, rows: np.ndarray, v: int) -> np.ndarray:
+        """``a[rows, v]`` — zeros at unstored positions."""
+        rows = np.asarray(rows, dtype=int)
+        idx, val = self.col(int(v))
+        out = np.zeros(rows.size)
+        if idx.size:
+            pos = np.searchsorted(idx, rows)
+            pos_c = np.minimum(pos, idx.size - 1)
+            hit = idx[pos_c] == rows
+            out[hit] = val[pos_c[hit]]
+        return out
+
+    def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """The dense sub-matrix ``a[rows x cols]``."""
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        out = np.zeros((rows.size, cols.size))
+        if rows.size == 0 or cols.size == 0:
+            return out
+        if np.unique(cols).size != cols.size:
+            for i, r in enumerate(rows):
+                out[i] = self.gather_row(int(r), cols)
+            return out
+        # Unique columns: invert once, then each row is a single gather +
+        # scatter over its stored entries — O(degree) instead of
+        # O(|cols| log degree) per row.  Same floats as gather_row (each
+        # stored entry is placed verbatim, zeros elsewhere).
+        pos = np.full(self.n, -1, dtype=np.int64)
+        pos[cols] = np.arange(cols.size)
+        for i, r in enumerate(rows):
+            idx, val = self.row(int(r))
+            if idx.size:
+                p = pos[idx]
+                hit = p >= 0
+                out[i, p[hit]] = val[hit]
+        return out
+
+    def dense_row(self, v: int) -> np.ndarray:
+        """``a[v]`` as a fresh dense vector."""
+        out = np.zeros(self.n)
+        idx, val = self.row(int(v))
+        out[idx] = val
+        return out
+
+    def add_row_to(self, out: np.ndarray, v: int) -> None:
+        """``out += a[v]`` (scatter; the zeros add nothing)."""
+        idx, val = self.row(int(v))
+        out[idx] += val
+
+    def add_col_to(self, out: np.ndarray, v: int) -> None:
+        """``out += a[:, v]``."""
+        idx, val = self.col(int(v))
+        out[idx] += val
+
+    def sub_row_from(self, out: np.ndarray, v: int) -> None:
+        idx, val = self.row(int(v))
+        out[idx] -= val
+
+    def sub_col_from(self, out: np.ndarray, v: int) -> None:
+        idx, val = self.col(int(v))
+        out[idx] -= val
+
+    def rows_sum(self, members: Sequence[int] | np.ndarray) -> np.ndarray:
+        """``a[members].sum(axis=0)`` over the full width.
+
+        Within the dense-block budget the member rows are materialized and
+        reduced by the same ``sum(axis=0)`` as the dense path (bit-equal on
+        complete patterns); beyond it, sequential scatter adds.
+        """
+        members = np.asarray(members, dtype=int)
+        n = self.n
+        if members.size == 0:
+            return np.zeros(n)
+        if members.size * n <= _DENSE_BLOCK_LIMIT:
+            dense = np.zeros((members.size, n))
+            for i, r in enumerate(members):
+                idx, val = self.row(int(r))
+                dense[i, idx] = val
+            return dense.sum(axis=0)
+        out = np.zeros(n)
+        for r in members:
+            self.add_row_to(out, int(r))
+        return out
+
+    def cols_sum(self, members: Sequence[int] | np.ndarray) -> np.ndarray:
+        """``a[:, members].sum(axis=1)`` over the full height.
+
+        Column fancy-indexing yields an F-contiguous copy, whose axis-1
+        reduction numpy performs column-by-column — the scratch mirrors
+        that layout so the floats match the dense expression exactly.
+        """
+        members = np.asarray(members, dtype=int)
+        n = self.n
+        if members.size == 0:
+            return np.zeros(n)
+        if members.size * n <= _DENSE_BLOCK_LIMIT:
+            dense = np.zeros((n, members.size), order="F")
+            for j, c in enumerate(members):
+                idx, val = self.col(int(c))
+                dense[idx, j] = val
+            return dense.sum(axis=1)
+        out = np.zeros(n)
+        for c in members:
+            self.add_col_to(out, int(c))
+        return out
+
+    def sum_axis0(self) -> np.ndarray:
+        """``a.sum(axis=0)`` (every link's in-affectance over all rows)."""
+        n = self.n
+        if n * n <= _DENSE_BLOCK_LIMIT:
+            return self.rows_sum(np.arange(n))
+        out = np.zeros(n)
+        for r in range(n):
+            self.add_row_to(out, r)
+        return out
+
+    def sum_axis1(self) -> np.ndarray:
+        """``a.sum(axis=1)`` (every link's out-affectance).
+
+        The dense expression reduces the C-contiguous matrix itself, not a
+        column copy — so the scratch here is C-ordered rows.
+        """
+        n = self.n
+        if n * n <= _DENSE_BLOCK_LIMIT:
+            dense = np.zeros((n, n))
+            for r in range(n):
+                idx, val = self.row(r)
+                dense[r, idx] = val
+            return dense.sum(axis=1)
+        out = np.empty(n)
+        for r in range(n):
+            _, val = self.row(r)
+            out[r] = val.sum()
+        return out
+
+    def in_affectances_within(
+        self, subset: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """``a_S(v)`` for each ``v`` of ``subset`` (dense-identical block)."""
+        idx = np.asarray(subset, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0)
+        if idx.size * idx.size <= _DENSE_BLOCK_LIMIT:
+            return self.block(idx, idx).sum(axis=0)
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        out = np.zeros(idx.size)
+        for r in idx:
+            ridx, rval = self.row(int(r))
+            pos = np.searchsorted(sorted_idx, ridx)
+            pos_c = np.minimum(pos, sorted_idx.size - 1)
+            hit = sorted_idx[pos_c] == ridx
+            np.add.at(out, order[pos_c[hit]], rval[hit])
+        return out
+
+
+class _CSRView(_SparseView):
+    """A value layer over the static CSR/CSC pattern."""
+
+    __slots__ = ("_sp", "_rv", "_cv")
+
+    def __init__(self, sp: "SparseAffectance", rv: np.ndarray, cv: np.ndarray):
+        self._sp = sp
+        self._rv = rv
+        self._cv = cv
+
+    @property
+    def n(self) -> int:
+        return self._sp.m
+
+    def row(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        sp = self._sp
+        lo, hi = sp.row_ptr[v], sp.row_ptr[v + 1]
+        return sp.row_idx[lo:hi], self._rv[lo:hi]
+
+    def col(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        sp = self._sp
+        lo, hi = sp.col_ptr[v], sp.col_ptr[v + 1]
+        return sp.col_idx[lo:hi], self._cv[lo:hi]
+
+    def sum_axis0(self) -> np.ndarray:
+        n = self.n
+        if n * n <= _DENSE_BLOCK_LIMIT:
+            return super().sum_axis0()
+        return np.bincount(
+            self._sp.row_idx, weights=self._rv, minlength=n
+        )
+
+    def sum_axis1(self) -> np.ndarray:
+        n = self.n
+        if n * n <= _DENSE_BLOCK_LIMIT:
+            return super().sum_axis1()
+        return np.bincount(
+            self._sp.col_idx, weights=self._cv, minlength=n
+        )
+
+
+class SparseAffectance:
+    """CSR + CSC thresholded affectance over ``m`` links.
+
+    ``A[w, v] = a_w(v)`` for every kept pair (dense convention: row acts,
+    column is affected); the certified per-link bounds :attr:`tail_in` /
+    :attr:`tail_out` dominate everything dropped.  Raw and clipped value
+    layers share the pattern; access them through :attr:`raw` /
+    :attr:`clip`.
+    """
+
+    __slots__ = (
+        "m", "eps", "radius", "cell_size", "tail_in", "tail_out",
+        "row_ptr", "row_idx", "col_ptr", "col_idx",
+        "_row_raw", "_row_clip", "_col_raw", "_col_clip",
+    )
+
+    def __init__(
+        self,
+        m: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        *,
+        eps: float,
+        radius: float,
+        cell_size: float,
+        tail_in: np.ndarray,
+        tail_out: np.ndarray,
+    ) -> None:
+        self.m = int(m)
+        self.eps = float(eps)
+        self.radius = float(radius)
+        self.cell_size = float(cell_size)
+        self.tail_in = np.asarray(tail_in, dtype=float)
+        self.tail_out = np.asarray(tail_out, dtype=float)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        if not (rows.shape == cols.shape == values.shape):
+            raise LinkError("sparse triplet arrays must be aligned")
+        if self.tail_in.shape != (self.m,) or self.tail_out.shape != (self.m,):
+            raise LinkError(f"tail bounds must have shape ({self.m},)")
+        order = np.lexsort((cols, rows))
+        self.row_idx = cols[order]
+        self._row_raw = values[order]
+        self._row_clip = np.minimum(self._row_raw, 1.0)
+        counts = np.bincount(rows, minlength=self.m)
+        self.row_ptr = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int64)
+        order_c = np.lexsort((rows, cols))
+        self.col_idx = rows[order_c]
+        self._col_raw = values[order_c]
+        self._col_clip = np.minimum(self._col_raw, 1.0)
+        counts_c = np.bincount(cols, minlength=self.m)
+        self.col_ptr = np.concatenate(
+            [[0], np.cumsum(counts_c)]
+        ).astype(np.int64)
+
+    @property
+    def nnz(self) -> int:
+        """Stored (nonzero-pattern) entry count."""
+        return int(self.row_idx.size)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the pattern holds every off-diagonal pair."""
+        return self.nnz == self.m * (self.m - 1)
+
+    @property
+    def raw(self) -> _CSRView:
+        """Unclipped value layer (SINR-exact sums; may contain ``inf``)."""
+        return _CSRView(self, self._row_raw, self._col_raw)
+
+    @property
+    def clip(self) -> _CSRView:
+        """Clipped value layer ``min(1, a)`` (the paper's accounting)."""
+        return _CSRView(self, self._row_clip, self._col_clip)
+
+    def triplets(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-major ``(rows, cols, raw_values)`` triplet arrays."""
+        rows = np.repeat(
+            np.arange(self.m, dtype=np.int64), np.diff(self.row_ptr)
+        )
+        return rows, self.row_idx.copy(), self._row_raw.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseAffectance(m={self.m}, nnz={self.nnz}, "
+            f"radius={self.radius:.3g}, eps={self.eps:.3g}, "
+            f"max_tail={float(np.max(self.tail_in + self.tail_out, initial=0.0)):.3g})"
+        )
+
+
+class SparseLinkDistances:
+    """Sparse link quasi-distances with exact separation decisions.
+
+    The stored pattern is symmetric, but each orientation keeps its own
+    value: in an asymmetric decay space ``d(l_v, l_w) != d(l_w, l_v)``
+    (the endpoint candidates ``d(s_v, s_w)`` and ``d(r_v, r_w)`` flip),
+    matching the dense :func:`~repro.core.separation.link_distance_matrix`
+    entry for entry.  A pair enters the pattern when *either* orientation
+    is at most ``radius``; the diagonal quasi-lengths live in
+    :attr:`qlen`.  The radius dominates every separation target
+    ``(zeta/2) d_vv``, so an orientation missing from the pattern provably
+    cannot violate separation — the admission scan's decisions are exactly
+    the dense ones.
+    """
+
+    __slots__ = ("m", "radius", "qlen", "ptr", "idx", "val")
+
+    def __init__(
+        self,
+        m: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        qlen: np.ndarray,
+        radius: float,
+    ) -> None:
+        self.m = int(m)
+        self.radius = float(radius)
+        self.qlen = np.asarray(qlen, dtype=float)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        # Grouped by *column* so the admission scan's scatter-min reads
+        # d(l_u, l_v) for every stored u in one slice.
+        order = np.lexsort((rows, cols))
+        self.idx = rows[order]
+        self.val = values[order]
+        counts = np.bincount(cols, minlength=self.m)
+        self.ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.idx.size)
+
+    def col(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Matrix column ``v``: stored ``u`` with their ``d(l_u, l_v)``."""
+        lo, hi = self.ptr[v], self.ptr[v + 1]
+        return self.idx[lo:hi], self.val[lo:hi]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseLinkDistances(m={self.m}, nnz={self.nnz}, "
+            f"radius={self.radius:.3g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _geometry_of(links: LinkSet):
+    geo = links.space.geometry
+    if geo is None:
+        raise LinkError(
+            "the sparse backend needs node positions: the link set's decay "
+            "space has no attached SpaceGeometry (build it with "
+            "DecaySpace.from_points / PointDecaySpace, or attach a measured "
+            "geometry)"
+        )
+    return geo
+
+
+def _pair_affectance(
+    links: LinkSet,
+    powers: np.ndarray,
+    c: np.ndarray,
+    w_idx: np.ndarray,
+    v_idx: np.ndarray,
+) -> np.ndarray:
+    """``a_w(v)`` per pair — the dense matrix expression, elementwise.
+
+    Association order mirrors :func:`repro.core.affectance.affectance_matrix`
+    (``(c_v * (P_w / P_v)) * (f_vv / f_wv)``), so every produced value is
+    the exact float the dense matrix holds at ``[w, v]``.
+    """
+    f_wv = links.space.decay_pairs(links.senders[w_idx], links.receivers[v_idx])
+    lengths = links.lengths
+    with np.errstate(divide="ignore"):
+        return (
+            c[v_idx]
+            * (powers[w_idx] / powers[v_idx])
+            * (lengths[v_idx] / f_wv)
+        )
+
+
+def _full_pattern(m: int) -> tuple[np.ndarray, np.ndarray]:
+    """All ordered off-diagonal pairs ``(w, v)``."""
+    w = np.repeat(np.arange(m, dtype=np.int64), m)
+    v = np.tile(np.arange(m, dtype=np.int64), m)
+    keep = w != v
+    return w[keep], v[keep]
+
+
+def build_sparse_affectance(
+    links: LinkSet,
+    powers: np.ndarray,
+    *,
+    noise: float = 0.0,
+    beta: float = 1.0,
+    eps: float = 1e-2,
+    radius: float | None = None,
+) -> SparseAffectance:
+    """Assemble the thresholded CSR affectance with certified tails.
+
+    The interaction radius starts from a density heuristic and doubles
+    until the certificate ``max_v tail_in(v) + tail_out(v) <= eps`` holds
+    (or the radius covers the instance diameter, in which case the pattern
+    is complete and the tails are exactly zero).  Pass ``radius`` to pin
+    the radius instead; the tails are still certified and returned, but
+    ``eps`` is not enforced.
+    """
+    from repro.geometry.cells import CellIndex
+
+    if eps <= 0:
+        raise LinkError(f"sparse tail tolerance eps must be positive, got {eps}")
+    geo = _geometry_of(links)
+    m = links.m
+    p = np.asarray(powers, dtype=float)
+    c = noise_constants_from_lengths(links.lengths, p, noise=noise, beta=beta)
+    pts = geo.points
+    spts = np.ascontiguousarray(pts[links.senders])
+    rpts = np.ascontiguousarray(pts[links.receivers])
+    all_pts = np.concatenate([spts, rpts])
+    origin = all_pts.min(axis=0)
+    diameter = float(np.linalg.norm(all_pts.max(axis=0) - origin))
+    # Per-link certificate weights: tail_in(v) <= w_in[v] * W_s(cell(r_v)),
+    # tail_out(v) <= w_out[v] * W_r(cell(s_v)), with the far-field tables
+    # W over sender / receiver cells and the envelope floor folded in.
+    with np.errstate(over="ignore"):
+        w_in = c * links.lengths * (p.max() / p) / geo.floor
+        w_out = float(np.max(c * links.lengths / p)) * p / geo.floor
+    if radius is not None:
+        if radius <= 0:
+            raise LinkError(f"interaction radius must be positive, got {radius}")
+        r = float(radius)
+        grow = False
+    else:
+        # ~32 expected senders per interaction disk seeds the search.
+        extent = np.maximum(all_pts.max(axis=0) - origin, 0.0)
+        area = float(np.prod(np.maximum(extent, 1e-12)))
+        r = max(float(np.sqrt(area * 32.0 / max(m, 1))), diameter / 256.0, 1e-12)
+        grow = True
+    while True:
+        if r >= diameter:
+            # Complete pattern: nothing dropped, tails exactly zero.
+            if m > _FULL_PATTERN_LIMIT:
+                raise LinkError(
+                    f"eps={eps} needs the complete {m}x{m} affectance "
+                    "pattern, which exceeds the sparse full-pattern limit; "
+                    "loosen eps or pass an explicit radius"
+                )
+            rows, cols = _full_pattern(m)
+            tail_in = np.zeros(m)
+            tail_out = np.zeros(m)
+            r = max(r, diameter)
+            break
+        sender_index = CellIndex(spts, r, origin=origin)
+        receiver_index = CellIndex(rpts, r, origin=origin)
+        ws = sender_index.far_field_sums(
+            sender_index.cell_of(rpts), r, geo.alpha
+        )
+        wr = receiver_index.far_field_sums(
+            receiver_index.cell_of(spts), r, geo.alpha
+        )
+        tail_in = w_in * ws
+        tail_out = w_out * wr
+        if not grow or float(np.max(tail_in + tail_out)) <= eps:
+            # Candidate pairs: receivers against the sender index — the
+            # exact support {(w, v) : d(s_w, r_v) <= r}, minus diagonal.
+            v_idx, w_idx, _ = sender_index.query(rpts, r)
+            keep = v_idx != w_idx
+            rows, cols = w_idx[keep], v_idx[keep]
+            break
+        r *= 2.0
+    values = _pair_affectance(links, p, c, rows, cols)
+    return SparseAffectance(
+        m, rows, cols, values,
+        eps=eps, radius=r, cell_size=r,
+        tail_in=tail_in, tail_out=tail_out,
+    )
+
+
+def build_sparse_link_distances(
+    links: LinkSet,
+    zeta_capacity: float,
+    *,
+    radius: float | None = None,
+) -> SparseLinkDistances:
+    """Sparse link quasi-distances at the capacity exponent.
+
+    Keeps every unordered pair where either orientation's link distance is
+    at most ``radius`` (default: the largest separation target
+    ``(zeta/2) * d_vv`` over all links — the only threshold the admission
+    scan compares against, which is what makes the sparse separation
+    decisions exact).  Candidate generation converts the distance cutoff
+    into a Euclidean one through the envelope ``f >= floor * d^alpha``
+    (the endpoint pairs are shared between orientations, so one Euclidean
+    screen covers both); every kept entry is the same four-candidate
+    endpoint minimum the dense matrix holds, per orientation.
+    """
+    from repro.geometry.cells import CellIndex
+
+    geo = _geometry_of(links)
+    z = float(zeta_capacity)
+    if z <= 0:
+        raise LinkError(f"zeta must be positive, got {z}")
+    inv = 1.0 / z
+    qlen = links.lengths**inv
+    r_d = (
+        float(radius)
+        if radius is not None
+        else float((z / 2.0) * qlen.max())
+    )
+    if r_d <= 0:
+        raise LinkError(f"distance radius must be positive, got {r_d}")
+    # f <= r_d^z  <=  floor * dE^alpha  =>  dE <= (r_d^z / floor)^(1/alpha)
+    r_e = float((r_d**z / geo.floor) ** (1.0 / geo.alpha))
+    pts = geo.points
+    spts = np.ascontiguousarray(pts[links.senders])
+    rpts = np.ascontiguousarray(pts[links.receivers])
+    all_pts = np.concatenate([spts, rpts])
+    origin = all_pts.min(axis=0)
+    diameter = float(np.linalg.norm(all_pts.max(axis=0) - origin))
+    m = links.m
+    if r_e >= diameter:
+        if m > _FULL_PATTERN_LIMIT:
+            raise LinkError(
+                f"the separation radius {r_d:.3g} needs the complete "
+                f"{m}x{m} link-distance pattern, which exceeds the sparse "
+                "full-pattern limit; pass an explicit zeta closer to the "
+                "path-loss exponent or schedule without separation"
+            )
+        u, w = _full_pattern(m)
+        keep_mask = u < w
+        u, w = u[keep_mask], w[keep_mask]
+    else:
+        s_index = CellIndex(spts, r_e, origin=origin)
+        r_index = CellIndex(rpts, r_e, origin=origin)
+        cand = []
+        for q_idx, p_idx, _ in (
+            s_index.query(rpts, r_e),  # d(s_w, r_v) both orientations
+            s_index.query(spts, r_e),  # d(s_v, s_w)
+            r_index.query(rpts, r_e),  # d(r_v, r_w)
+        ):
+            lo = np.minimum(q_idx, p_idx)
+            hi = np.maximum(q_idx, p_idx)
+            keep = lo != hi
+            cand.append(lo[keep] * m + hi[keep])
+        pair_keys = np.unique(np.concatenate(cand)) if cand else np.empty(0, int)
+        u = (pair_keys // m).astype(np.int64)
+        w = (pair_keys % m).astype(np.int64)
+    if u.size:
+        space = links.space
+        s, r = links.senders, links.receivers
+        d1 = space.decay_pairs(s[u], r[w]) ** inv  # d(s_u, r_w)
+        d2 = space.decay_pairs(s[w], r[u]) ** inv  # d(s_w, r_u)
+        d3 = space.decay_pairs(s[u], s[w]) ** inv  # d(s_u, s_w)
+        d4 = space.decay_pairs(r[u], r[w]) ** inv  # d(r_u, r_w)
+        # The dense matrix's four-candidate minimum, per orientation: in
+        # an asymmetric space the endpoint candidates d3/d4 flip with the
+        # orientation, so d(l_u, l_w) and d(l_w, l_u) differ.
+        d3t = space.decay_pairs(s[w], s[u]) ** inv  # d(s_w, s_u)
+        d4t = space.decay_pairs(r[w], r[u]) ** inv  # d(r_w, r_u)
+        shared = np.minimum(d1, d2)
+        dist_uw = np.minimum(shared, np.minimum(d3, d4))
+        dist_wu = np.minimum(shared, np.minimum(d3t, d4t))
+        keep = (dist_uw <= r_d) | (dist_wu <= r_d)
+        u, w = u[keep], w[keep]
+        dist_uw, dist_wu = dist_uw[keep], dist_wu[keep]
+    else:
+        dist_uw = np.empty(0, dtype=float)
+        dist_wu = np.empty(0, dtype=float)
+    rows = np.concatenate([u, w])
+    cols = np.concatenate([w, u])
+    values = np.concatenate([dist_uw, dist_wu])
+    return SparseLinkDistances(m, rows, cols, values, qlen, r_d)
+
+
+# ----------------------------------------------------------------------
+# Backend-agnostic access helpers
+# ----------------------------------------------------------------------
+# The repair and simulation layers read affectance through these instead
+# of raw numpy indexing, so one code path serves both a dense ``(m, m)``
+# matrix and a sparse view.  Each dense branch is the literal indexing
+# expression the caller previously inlined — float-for-float unchanged.
+
+def gather_row(a, v: int, cols) -> np.ndarray:
+    """``a[v, cols]`` on either backend (zeros at unstored positions)."""
+    if isinstance(a, np.ndarray):
+        return a[int(v), np.asarray(cols, dtype=int)]
+    return a.gather_row(int(v), cols)
+
+
+def gather_col(a, rows, v: int) -> np.ndarray:
+    """``a[rows, v]`` on either backend."""
+    if isinstance(a, np.ndarray):
+        return a[np.asarray(rows, dtype=int), int(v)]
+    return a.gather_col(rows, int(v))
+
+
+def dense_row(a, v: int) -> np.ndarray:
+    """``a[v]`` as a fresh writable dense vector of the padded width."""
+    if isinstance(a, np.ndarray):
+        return a[int(v)].copy()
+    return a.dense_row(int(v))
+
+
+def rows_sum(a, members) -> np.ndarray:
+    """``a[members].sum(axis=0)`` over the full padded width."""
+    if isinstance(a, np.ndarray):
+        idx = np.asarray(members, dtype=int)
+        if idx.size == 0:
+            return np.zeros(a.shape[1])
+        return a[idx].sum(axis=0)
+    return a.rows_sum(members)
+
+
+def member_block(a, rows, cols) -> np.ndarray:
+    """The dense sub-matrix ``a[rows x cols]`` on either backend."""
+    if isinstance(a, np.ndarray):
+        return a[np.ix_(np.asarray(rows, dtype=int), np.asarray(cols, dtype=int))]
+    return a.block(rows, cols)
+
+
+def add_row_to(out: np.ndarray, a, v: int) -> None:
+    """``out += a[v]`` in place on either backend."""
+    if isinstance(a, np.ndarray):
+        out += a[int(v)]
+    else:
+        a.add_row_to(out, int(v))

@@ -16,7 +16,8 @@ throughout the paper: decay balls (Sec. 3.1), quasi-distances
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -25,10 +26,103 @@ from repro.errors import DecaySpaceError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.spaces.quasimetric import QuasiMetric
 
-__all__ = ["DecaySpace"]
+__all__ = ["DecaySpace", "PointDecaySpace", "SpaceGeometry"]
 
 #: Relative tolerance used by :meth:`DecaySpace.is_symmetric`.
 _SYMMETRY_RTOL = 1e-9
+
+#: Largest node count for which a :class:`PointDecaySpace` will materialize
+#: its full decay matrix on demand.  Above this, accessing ``.f`` raises:
+#: the matrix would dominate memory (the lazy space exists precisely so the
+#: sparse backend never builds it) — use :meth:`DecaySpace.decay_pairs` /
+#: :meth:`DecaySpace.decay_block` instead.  The bound admits the 6000-node
+#: dense_urban pool the m=2000 dense benchmarks schedule over (~0.5 GB at
+#: the limit) while refusing the 10^4-link-and-up spaces only the sparse
+#: backend can handle.
+_MATERIALIZE_LIMIT = 8192
+
+
+@dataclass(frozen=True)
+class SpaceGeometry:
+    """Euclidean positions underlying a decay space, with a certified floor.
+
+    The sparse affectance backend needs two things a bare decay matrix
+    cannot provide: node *positions* (to build a spatial cell index) and a
+    certified lower bound ``f(p, q) >= floor * d(p, q)^alpha`` for distinct
+    nodes (to bound the dropped far-field affectance).  ``floor = 1`` for
+    pure geometric path loss; environmental scenarios measure the floor
+    from their realised matrix (walls and shadowing only tighten it).
+
+    Attributes
+    ----------
+    points:
+        Read-only ``(n, dim)`` node coordinates.
+    alpha:
+        The path-loss exponent of the lower envelope.
+    floor:
+        Positive coefficient of the envelope ``f >= floor * d^alpha``.
+    """
+
+    points: np.ndarray
+    alpha: float
+    floor: float = 1.0
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=float)
+        if pts.ndim != 2:
+            raise DecaySpaceError("geometry points must be a 2-D array (n, dim)")
+        if self.alpha <= 0:
+            raise DecaySpaceError(
+                f"geometry path-loss exponent must be positive, got {self.alpha}"
+            )
+        if not self.floor > 0:
+            raise DecaySpaceError(
+                f"geometry decay floor must be positive, got {self.floor}"
+            )
+        pts = pts.copy()
+        pts.setflags(write=False)
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "alpha", float(self.alpha))
+        object.__setattr__(self, "floor", float(self.floor))
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @classmethod
+    def measured(
+        cls, points: np.ndarray, alpha: float, matrix: np.ndarray
+    ) -> "SpaceGeometry":
+        """Geometry with the empirical floor ``min f / d^alpha`` off-diagonal.
+
+        For matrices built as ``d^alpha`` times bounded perturbations
+        (walls, fading, shadowing, measurement noise) this extracts the
+        realised envelope coefficient, making any positively-perturbed
+        geometric space sparse-capable.  Coincident distinct nodes (zero
+        distance but positive decay) are skipped — their envelope is
+        vacuous.
+        """
+        pts = np.asarray(points, dtype=float)
+        f = np.asarray(matrix, dtype=float)
+        if f.shape != (pts.shape[0], pts.shape[0]):
+            raise DecaySpaceError(
+                f"matrix shape {f.shape} does not match {pts.shape[0]} points"
+            )
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        mask = ~np.eye(pts.shape[0], dtype=bool)
+        mask &= dist > 0
+        if not mask.any():
+            raise DecaySpaceError(
+                "cannot measure a decay floor: all distinct nodes coincide"
+            )
+        ratio = f[mask] / dist[mask] ** alpha
+        floor = float(ratio.min())
+        if not floor > 0:
+            raise DecaySpaceError(
+                "cannot measure a decay floor: some distinct-pair decay is 0"
+            )
+        return cls(pts, alpha, floor)
 
 
 def _validate_matrix(matrix: np.ndarray) -> None:
@@ -77,7 +171,7 @@ class DecaySpace:
     cached on first use.
     """
 
-    __slots__ = ("_f", "_labels", "_cache")
+    __slots__ = ("_f", "_labels", "_cache", "_geometry")
 
     def __init__(
         self,
@@ -85,12 +179,18 @@ class DecaySpace:
         labels: Sequence[str] | None = None,
         *,
         validate: bool = True,
+        geometry: SpaceGeometry | None = None,
     ) -> None:
         f = np.array(matrix, dtype=float)
         if validate:
             _validate_matrix(f)
         f.setflags(write=False)
         self._f = f
+        if geometry is not None and geometry.n != f.shape[0]:
+            raise DecaySpaceError(
+                f"geometry has {geometry.n} points for {f.shape[0]} nodes"
+            )
+        self._geometry = geometry
         if labels is not None:
             if len(labels) != f.shape[0]:
                 raise DecaySpaceError(
@@ -128,13 +228,21 @@ class DecaySpace:
         alpha: float,
         labels: Sequence[str] | None = None,
     ) -> "DecaySpace":
-        """Geometric path loss over Euclidean point coordinates."""
+        """Geometric path loss over Euclidean point coordinates.
+
+        The coordinates are attached as :class:`SpaceGeometry` (exact
+        envelope, ``floor = 1``), making the space sparse-capable.
+        """
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2:
             raise DecaySpaceError("points must be a 2-D array (n, dim)")
         diff = pts[:, None, :] - pts[None, :, :]
         dist = np.sqrt((diff**2).sum(axis=-1))
-        return cls.from_distances(dist, alpha, labels=labels)
+        if alpha <= 0:
+            raise DecaySpaceError(f"path-loss exponent must be positive, got {alpha}")
+        return cls(
+            dist**alpha, labels=labels, geometry=SpaceGeometry(pts, alpha)
+        )
 
     @classmethod
     def from_gains(
@@ -174,9 +282,32 @@ class DecaySpace:
         """Optional node labels."""
         return self._labels
 
+    @property
+    def geometry(self) -> SpaceGeometry | None:
+        """Euclidean positions + certified decay floor, when attached.
+
+        ``None`` for purely matrix-defined spaces; such spaces cannot use
+        the sparse affectance backend.
+        """
+        return self._geometry
+
     def decay(self, p: int, q: int) -> float:
         """The decay ``f(p, q)`` from node ``p`` to node ``q``."""
         return float(self._f[p, q])
+
+    def decay_pairs(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Element-aligned decays ``f(p[i], q[i])`` without a full gather.
+
+        The workhorse of the sparse backend: both index arrays must have
+        the same shape; the result is ``f`` evaluated pairwise.  On a
+        materialized space this is a fancy-index read of the exact matrix
+        entries.
+        """
+        return self._f[np.asarray(p, dtype=int), np.asarray(q, dtype=int)]
+
+    def decay_block(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """The dense sub-matrix ``f[p x q]`` (outer product of the indices)."""
+        return self._f[np.ix_(np.asarray(p, dtype=int), np.asarray(q, dtype=int))]
 
     def gain(self, p: int, q: int) -> float:
         """The channel gain ``G(p, q) = 1 / f(p, q)`` (``inf`` when p == q)."""
@@ -186,7 +317,7 @@ class DecaySpace:
     def off_diagonal(self) -> np.ndarray:
         """All decays between distinct ordered pairs, as a flat array."""
         mask = ~np.eye(self.n, dtype=bool)
-        return self._f[mask]
+        return self.f[mask]
 
     def min_decay(self) -> float:
         """Smallest decay between distinct nodes."""
@@ -207,14 +338,15 @@ class DecaySpace:
     # ------------------------------------------------------------------
     def is_symmetric(self, rtol: float = _SYMMETRY_RTOL) -> bool:
         """Whether ``f(p, q) == f(q, p)`` for all pairs (up to ``rtol``)."""
-        return bool(np.allclose(self._f, self._f.T, rtol=rtol, atol=0.0))
+        f = self.f
+        return bool(np.allclose(f, f.T, rtol=rtol, atol=0.0))
 
     def symmetrized(self, how: str = "max") -> "DecaySpace":
         """A symmetric space obtained by combining ``f(p,q)`` and ``f(q,p)``.
 
         ``how`` is one of ``"max"``, ``"min"``, ``"mean"`` or ``"geomean"``.
         """
-        a, b = self._f, self._f.T
+        a, b = self.f, self.f.T
         if how == "max":
             g = np.maximum(a, b)
         elif how == "min":
@@ -236,11 +368,14 @@ class DecaySpace:
             raise DecaySpaceError("restriction indices must be distinct")
         if idx.min() < 0 or idx.max() >= self.n:
             raise DecaySpaceError("restriction index out of range")
-        sub = self._f[np.ix_(idx, idx)]
+        sub = self.f[np.ix_(idx, idx)]
         labels = (
             tuple(self._labels[i] for i in idx) if self._labels is not None else None
         )
-        return DecaySpace(sub, labels=labels, validate=False)
+        geo = self._geometry
+        if geo is not None:
+            geo = SpaceGeometry(geo.points[idx], geo.alpha, geo.floor)
+        return DecaySpace(sub, labels=labels, validate=False, geometry=geo)
 
     def ball(self, center: int, radius: float) -> np.ndarray:
         """The decay ball ``B(center, radius)`` of Sec. 3.1.
@@ -249,7 +384,7 @@ class DecaySpace:
         whose decay *towards* the center is below the radius.  The center
         itself is always included (``f(c, c) = 0``).
         """
-        return np.flatnonzero(self._f[:, center] < radius)
+        return np.flatnonzero(self.f[:, center] < radius)
 
     # ------------------------------------------------------------------
     # Metricity and induced quasi-metric (delegates to repro.core.metricity)
@@ -288,7 +423,7 @@ class DecaySpace:
             # All-equal decay spaces have metricity 0 (every positive zeta
             # satisfies Definition 2.2); fall back to exponent 1.
             z = 1.0
-        return self._f ** (1.0 / z)
+        return self.f ** (1.0 / z)
 
     def induced_quasimetric(self, zeta: float | None = None) -> "QuasiMetric":
         """The induced quasi-metric ``D' = (V, d)`` of Sec. 2.2."""
@@ -323,3 +458,161 @@ class DecaySpace:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sym = "symmetric" if self.is_symmetric() else "asymmetric"
         return f"DecaySpace(n={self.n}, {sym})"
+
+
+class PointDecaySpace(DecaySpace):
+    """A geometric decay space evaluated lazily from point coordinates.
+
+    ``f(p, q) = d(p, q)^alpha * perturb(p, q)`` is computed on demand via
+    :meth:`decay_pairs` / :meth:`decay_block` instead of being stored as an
+    ``(n, n)`` matrix, so link sets with tens of thousands of nodes fit in
+    memory.  Accessing :attr:`f` materializes the full matrix only while
+    ``n`` stays within the materialize limit (the small-instance regime the
+    dense cross-checks run in); beyond it the access raises
+    :class:`DecaySpaceError` — at that scale only the sparse backend (which
+    never touches ``f``) is meant to run.
+
+    For ``n`` within the limit the materialized matrix is *entry-exact*
+    with :meth:`DecaySpace.from_points` on the same coordinates (identical
+    numpy expressions), which is what the dense-vs-sparse identity suites
+    rely on.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` node coordinates.
+    alpha:
+        Path-loss exponent.
+    perturb:
+        Optional deterministic multiplicative perturbation: a callable
+        ``perturb(p, q) -> factors`` taking broadcast-compatible node index
+        arrays and returning strictly positive finite factors.  It must be
+        a pure function of the indices so lazy evaluation is reproducible.
+    floor:
+        Certified lower bound on the perturbation factors (1 when
+        ``perturb`` is ``None``); the space's envelope is then
+        ``f >= floor * d^alpha``.
+    materialize_limit:
+        Override of the node-count cap for full materialization.
+    """
+
+    __slots__ = ("_points", "_alpha", "_perturb", "_limit")
+
+    def __init__(
+        self,
+        points: np.ndarray | Sequence[Sequence[float]],
+        alpha: float,
+        *,
+        perturb: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        floor: float = 1.0,
+        labels: Sequence[str] | None = None,
+        materialize_limit: int | None = None,
+    ) -> None:
+        pts = np.array(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise DecaySpaceError("points must be a non-empty 2-D array (n, dim)")
+        if alpha <= 0:
+            raise DecaySpaceError(
+                f"path-loss exponent must be positive, got {alpha}"
+            )
+        if perturb is None and floor != 1.0:
+            raise DecaySpaceError(
+                "floor must be 1 for an unperturbed geometric space"
+            )
+        pts.setflags(write=False)
+        self._points = pts
+        self._alpha = float(alpha)
+        self._perturb = perturb
+        self._limit = (
+            _MATERIALIZE_LIMIT if materialize_limit is None else int(materialize_limit)
+        )
+        self._f = None  # type: ignore[assignment]
+        self._geometry = SpaceGeometry(pts, alpha, floor)
+        if labels is not None and len(labels) != pts.shape[0]:
+            raise DecaySpaceError(
+                f"got {len(labels)} labels for {pts.shape[0]} nodes"
+            )
+        self._labels = tuple(str(lab) for lab in labels) if labels else None
+        self._cache: dict[str, object] = {}
+
+    # -- lazy matrix ----------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The read-only ``(n, dim)`` coordinate array."""
+        return self._points
+
+    @property
+    def alpha(self) -> float:
+        """The path-loss exponent."""
+        return self._alpha
+
+    @property
+    def n(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def f(self) -> np.ndarray:
+        """Materialize (and cache) the full matrix — small spaces only."""
+        if self._f is None:
+            if self.n > self._limit:
+                raise DecaySpaceError(
+                    f"refusing to materialize the {self.n}x{self.n} decay "
+                    f"matrix of a lazy point space (limit {self._limit}); "
+                    "use decay_pairs/decay_block or the sparse backend"
+                )
+            idx = np.arange(self.n)
+            f = self.decay_block(idx, idx)
+            np.fill_diagonal(f, 0.0)
+            f.setflags(write=False)
+            self._f = f
+        return self._f
+
+    def decay_pairs(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=int)
+        q = np.asarray(q, dtype=int)
+        diff = self._points[p] - self._points[q]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        val = dist**self._alpha
+        if self._perturb is not None:
+            val = val * self._perturb(p, q)
+        return val
+
+    def decay_block(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=int)
+        q = np.asarray(q, dtype=int)
+        diff = self._points[p][:, None, :] - self._points[q][None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        val = dist**self._alpha
+        if self._perturb is not None:
+            val = val * self._perturb(p[:, None], q[None, :])
+        return val
+
+    def decay(self, p: int, q: int) -> float:
+        return float(
+            self.decay_pairs(np.array([p]), np.array([q]))[0]
+        )
+
+    def gain(self, p: int, q: int) -> float:
+        fpq = self.decay(p, q)
+        return float("inf") if fpq == 0.0 else float(1.0 / fpq)
+
+    # -- dunder ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PointDecaySpace):
+            return (
+                self._alpha == other._alpha
+                and np.array_equal(self._points, other._points)
+                and self._perturb is other._perturb
+            )
+        if isinstance(other, DecaySpace):
+            return self.n == other.n and bool(np.array_equal(self.f, other.f))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._alpha, self._points.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PointDecaySpace(n={self.n}, alpha={self._alpha}, "
+            f"perturbed={self._perturb is not None})"
+        )

@@ -78,7 +78,9 @@ class LinkSet:
     every endpoint must be a valid node of ``space``.
     """
 
-    __slots__ = ("_space", "_links", "_senders", "_receivers", "_cross", "_cache")
+    __slots__ = (
+        "_space", "_links", "_senders", "_receivers", "_lengths", "_cross", "_cache"
+    )
 
     def __init__(
         self, space: DecaySpace, links: Iterable[Link | tuple[int, int]]
@@ -96,10 +98,13 @@ class LinkSet:
             )
         self._senders = senders
         self._receivers = receivers
-        # Cross-decay matrix F[u, v] = f(s_u, r_v).
-        cross = space.f[np.ix_(senders, receivers)]
-        cross.setflags(write=False)
-        self._cross = cross
+        # Signal decays f_vv = f(s_v, r_v): O(m) via the pairwise accessor.
+        lengths = np.asarray(space.decay_pairs(senders, receivers), dtype=float)
+        lengths.setflags(write=False)
+        self._lengths = lengths
+        # Cross-decay matrix F[u, v] = f(s_u, r_v), built lazily: at sparse
+        # scale it is never touched.
+        self._cross = None
         self._cache: dict[str, object] = {}
 
     # ------------------------------------------------------------------
@@ -132,17 +137,26 @@ class LinkSet:
 
     @property
     def cross_decay(self) -> np.ndarray:
-        """``F[u, v] = f(s_u, r_v)``: decay from sender ``u`` to receiver ``v``."""
+        """``F[u, v] = f(s_u, r_v)``: decay from sender ``u`` to receiver ``v``.
+
+        Materialized on first access (O(m^2) memory); the sparse scheduling
+        backend never reads it.
+        """
+        if self._cross is None:
+            cross = self._space.decay_block(self._senders, self._receivers)
+            cross = np.ascontiguousarray(cross)
+            cross.setflags(write=False)
+            self._cross = cross
         return self._cross
 
     @property
     def lengths(self) -> np.ndarray:
         """Signal decays ``f_vv = f(s_v, r_v)`` of all links."""
-        return np.diagonal(self._cross)
+        return self._lengths
 
     def length(self, v: int) -> float:
         """Signal decay ``f_vv`` of link ``v``."""
-        return float(self._cross[v, v])
+        return float(self._lengths[v])
 
     # ------------------------------------------------------------------
     # Ordering and subsets

@@ -42,6 +42,7 @@ from repro.algorithms.repair import (
     OnlineRepairScheduler,
 )
 from repro.core.affectance import feasible_within
+from repro.core.affectance_sparse import add_row_to, member_block
 from repro.core.links import LinkSet
 from repro.core.power import uniform_power
 from repro.dynamics import ChurnDriver
@@ -91,7 +92,7 @@ def lqf_policy(
             members = chosen[:count]
             # Member-side worst case: max over chosen of a_X(w) + a_v(w).
             worst = (
-                a[np.ix_(cand, members)] + in_aff[members][None, :]
+                member_block(a, cand, members) + in_aff[members][None, :]
             ).max(axis=1)
             ok = (in_aff[cand] <= 1.0) & (worst <= 1.0)
             hits = np.flatnonzero(ok)
@@ -101,7 +102,7 @@ def lqf_policy(
         v = int(cand[hit])
         chosen[count] = v
         count += 1
-        in_aff += a[v]
+        add_row_to(in_aff, a, v)
         cand = cand[hit + 1 :]
     return np.sort(chosen[:count])
 

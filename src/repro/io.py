@@ -21,13 +21,24 @@ import pathlib
 
 import numpy as np
 
-from repro.core.decay import DecaySpace
+from repro.core.affectance_sparse import SparseAffectance
+from repro.core.decay import DecaySpace, SpaceGeometry
 from repro.core.links import LinkSet
 from repro.errors import ReproError
 
-__all__ = ["save_space", "load_space", "save_links", "load_links"]
+__all__ = [
+    "save_space",
+    "load_space",
+    "save_links",
+    "load_links",
+    "save_sparse_affectance",
+    "load_sparse_affectance",
+]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the optional geometry arrays on space/link archives and
+#: the sparse-affectance archive kind.  Version-1 archives load unchanged
+#: (they simply carry no geometry).
+_FORMAT_VERSION = 2
 
 
 def _npz_path(path: str | pathlib.Path) -> pathlib.Path:
@@ -93,16 +104,40 @@ def _checked_labels(
     return [str(x) for x in archive["labels"]] if "labels" in archive else None
 
 
+def _geometry_payload(payload: dict[str, np.ndarray], space: DecaySpace) -> None:
+    """Attach the space's geometry arrays to an archive payload, if any."""
+    geo = space.geometry
+    if geo is not None:
+        payload["geometry_points"] = np.asarray(geo.points, dtype=float)
+        payload["geometry_params"] = np.array([geo.alpha, geo.floor])
+
+
+def _geometry_of(archive) -> SpaceGeometry | None:
+    """Reconstruct the geometry stored in an archive, if any."""
+    if "geometry_points" not in archive:
+        return None
+    alpha, floor = archive["geometry_params"]
+    return SpaceGeometry(archive["geometry_points"], float(alpha), float(floor))
+
+
 def save_space(path: str | pathlib.Path, space: DecaySpace) -> None:
-    """Write a decay space to an ``.npz`` archive."""
-    _write_archive(path, {"decay": space.f}, space.labels)
+    """Write a decay space to an ``.npz`` archive.
+
+    The geometry (positions + certified floor), when attached, rides
+    along so a loaded space stays sparse-capable.
+    """
+    payload: dict[str, np.ndarray] = {"decay": space.f}
+    _geometry_payload(payload, space)
+    _write_archive(path, payload, space.labels)
 
 
 def load_space(path: str | pathlib.Path) -> DecaySpace:
     """Read a decay space written by :func:`save_space` (re-validated)."""
     with np.load(_load_path(path), allow_pickle=False) as archive:
         labels = _checked_labels(archive, path, ("decay",), "decay-space")
-        return DecaySpace(archive["decay"], labels=labels)
+        return DecaySpace(
+            archive["decay"], labels=labels, geometry=_geometry_of(archive)
+        )
 
 
 def save_links(path: str | pathlib.Path, links: LinkSet) -> None:
@@ -112,6 +147,7 @@ def save_links(path: str | pathlib.Path, links: LinkSet) -> None:
         "senders": links.senders,
         "receivers": links.receivers,
     }
+    _geometry_payload(payload, links.space)
     _write_archive(path, payload, links.space.labels)
 
 
@@ -121,6 +157,66 @@ def load_links(path: str | pathlib.Path) -> LinkSet:
         labels = _checked_labels(
             archive, path, ("decay", "senders", "receivers"), "link-set"
         )
-        space = DecaySpace(archive["decay"], labels=labels)
+        space = DecaySpace(
+            archive["decay"], labels=labels, geometry=_geometry_of(archive)
+        )
         pairs = list(zip(archive["senders"].tolist(), archive["receivers"].tolist()))
         return LinkSet(space, pairs)
+
+
+def save_sparse_affectance(
+    path: str | pathlib.Path, sparse: SparseAffectance
+) -> None:
+    """Write a thresholded affectance to an ``.npz`` archive.
+
+    Stores the raw-value triplets together with everything that defines
+    the certificate — ``eps``, the certified interaction radius, the
+    cell size it was proved at, and the per-link dropped-tail bounds —
+    so a loaded pattern carries the same guarantees as a fresh build.
+    The clipped layer and the CSC arrangement are derived on load.
+    """
+    rows, cols, values = sparse.triplets()
+    payload = {
+        "sparse_rows": rows,
+        "sparse_cols": cols,
+        "sparse_values": values,
+        "sparse_m": np.array([sparse.m], dtype=np.int64),
+        "sparse_params": np.array(
+            [sparse.eps, sparse.radius, sparse.cell_size]
+        ),
+        "tail_in": sparse.tail_in,
+        "tail_out": sparse.tail_out,
+    }
+    _write_archive(path, payload, None)
+
+
+def load_sparse_affectance(path: str | pathlib.Path) -> SparseAffectance:
+    """Read a pattern written by :func:`save_sparse_affectance`.
+
+    The constructor re-sorts the triplets into CSR/CSC and re-checks
+    the shape invariants, so a tampered or truncated archive fails
+    loudly instead of yielding a silently inconsistent pattern.
+    """
+    required = (
+        "sparse_rows",
+        "sparse_cols",
+        "sparse_values",
+        "sparse_m",
+        "sparse_params",
+        "tail_in",
+        "tail_out",
+    )
+    with np.load(_load_path(path), allow_pickle=False) as archive:
+        _checked_labels(archive, path, required, "sparse-affectance")
+        eps, radius, cell_size = archive["sparse_params"]
+        return SparseAffectance(
+            int(archive["sparse_m"][0]),
+            archive["sparse_rows"],
+            archive["sparse_cols"],
+            archive["sparse_values"],
+            eps=float(eps),
+            radius=float(radius),
+            cell_size=float(cell_size),
+            tail_in=archive["tail_in"],
+            tail_out=archive["tail_out"],
+        )

@@ -56,6 +56,20 @@ through the incremental :class:`~repro.algorithms.context.DynamicContext`.
     (:class:`_StreamedSuperSpace`), never materializing the full
     difference tensor.
 
+Scale
+-----
+Every builder is size-parameterized through ``n_links`` — benchmark
+sweeps call ``build_scenario("planar_uniform", n_links=100_000)``
+directly instead of resampling on the side.  The pure-geometric builders
+(``planar_uniform``, ``clustered``, and the lazy ``dense_urban`` branch)
+switch to a lazy :class:`~repro.core.decay.PointDecaySpace` once the node
+count exceeds the materialize limit, so m=10^4–10^5 instances never
+allocate the ``(n, n)`` decay matrix and route through the sparse
+affectance backend.  The matrix-built scenarios (``corridor``,
+``asymmetric_measured``, ``rayleigh_fading``, small ``dense_urban``)
+attach :meth:`~repro.core.decay.SpaceGeometry.measured`, so the sparse
+backend's certified far-field envelope covers them as well.
+
 Registering a new scenario::
 
     from repro.scenarios import register_scenario
@@ -75,7 +89,12 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.core.decay import DecaySpace
+from repro.core.decay import (
+    _MATERIALIZE_LIMIT,
+    DecaySpace,
+    PointDecaySpace,
+    SpaceGeometry,
+)
 from repro.core.links import LinkSet
 from repro.dynamics import ChurnEvent, DynamicScenario
 from repro.errors import DecaySpaceError
@@ -302,26 +321,62 @@ def _paired_linkset(n_links: int, space: DecaySpace) -> LinkSet:
     return LinkSet(space, [(i, n_links + i) for i in range(n_links)])
 
 
+#: Node count above which geometric builders go lazy (never materialize
+#: the ``(n, n)`` decay matrix) unless told otherwise.
+_LAZY_NODE_LIMIT = _MATERIALIZE_LIMIT
+
+
+def _geometric_space(
+    pts: np.ndarray, alpha: float, lazy: bool | None
+) -> DecaySpace:
+    """A pure-geometric decay space, lazy above the materialize limit.
+
+    ``lazy=None`` auto-selects: instances whose node count exceeds the
+    materialize limit get a :class:`PointDecaySpace` (entry-exact with
+    :meth:`DecaySpace.from_points`, matrix never built), smaller ones keep
+    the historical eager build so every existing draw stays byte-identical.
+    """
+    if lazy is None:
+        lazy = pts.shape[0] > _LAZY_NODE_LIMIT
+    if lazy:
+        return PointDecaySpace(pts, alpha)
+    return DecaySpace.from_points(pts, alpha)
+
+
 # ----------------------------------------------------------------------
 # Built-in scenarios
 # ----------------------------------------------------------------------
 @register_scenario("planar_uniform")
 def planar_uniform(
-    n_links: int, seed: int = 0, alpha: float = 3.0, density: float = 4.0
+    n_links: int,
+    seed: int = 0,
+    alpha: float = 3.0,
+    density: float = 4.0,
+    lazy: bool | None = None,
 ) -> LinkSet:
-    """Uniform sender placement in a box scaled to keep density constant."""
+    """Uniform sender placement in a box scaled to keep density constant.
+
+    Size-parameterized for the m=10^4–10^5 sweeps: above the materialize
+    limit the space goes lazy (``lazy=None`` auto-selects), so large
+    instances carry only coordinates and the sparse backend never touches
+    an ``(n, n)`` matrix.
+    """
     rng = np.random.default_rng(seed)
     extent = density * np.sqrt(max(n_links, 1))
     senders = rng.uniform(0, extent, size=(n_links, 2))
     receivers = _receivers_near(senders, rng)
     pts = np.concatenate([senders, receivers])
-    space = DecaySpace.from_points(pts, alpha)
+    space = _geometric_space(pts, alpha, lazy)
     return _paired_linkset(n_links, space)
 
 
 @register_scenario("clustered")
 def clustered(
-    n_links: int, seed: int = 0, alpha: float = 3.0, clusters: int | None = None
+    n_links: int,
+    seed: int = 0,
+    alpha: float = 3.0,
+    clusters: int | None = None,
+    lazy: bool | None = None,
 ) -> LinkSet:
     """Senders drawn from a few Gaussian clusters (hotspot traffic)."""
     rng = np.random.default_rng(seed)
@@ -332,7 +387,7 @@ def clustered(
     senders = centers[assignment] + rng.normal(0, extent / 25.0, size=(n_links, 2))
     receivers = _receivers_near(senders, rng)
     pts = np.concatenate([senders, receivers])
-    space = DecaySpace.from_points(pts, alpha)
+    space = _geometric_space(pts, alpha, lazy)
     return _paired_linkset(n_links, space)
 
 
@@ -369,7 +424,8 @@ def corridor(
     receivers = _receivers_near(senders, rng, min_len=0.4, max_len=1.0)
     receivers[:, 1] = np.clip(receivers[:, 1], 0.05, width - 0.05)
     pts = np.concatenate([senders, receivers])
-    space = DecaySpace(env.decay_matrix(pts))
+    f = env.decay_matrix(pts)
+    space = DecaySpace(f, geometry=SpaceGeometry.measured(pts, alpha, f))
     return _paired_linkset(n_links, space)
 
 
@@ -394,7 +450,7 @@ def asymmetric_measured(
     noise_db = rng.normal(0.0, sigma_db, size=base.shape)
     f = base * 10.0 ** (noise_db / 10.0)
     np.fill_diagonal(f, 0.0)
-    space = DecaySpace(f)
+    space = DecaySpace(f, geometry=SpaceGeometry.measured(pts, alpha, f))
     return _paired_linkset(n_links, space)
 
 
@@ -421,7 +477,7 @@ def rayleigh_fading(
     fades = np.maximum(rng.exponential(1.0, size=dist.shape), fade_floor)
     f = dist**alpha / fades
     np.fill_diagonal(f, 0.0)
-    space = DecaySpace(f)
+    space = DecaySpace(f, geometry=SpaceGeometry.measured(pts, alpha, f))
     return _paired_linkset(n_links, space)
 
 
@@ -435,6 +491,7 @@ def dense_urban(
     nlos_extra_db: float = 12.0,
     sigma_los_db: float = 2.0,
     sigma_nlos_db: float = 6.0,
+    lazy: bool | None = None,
 ) -> LinkSet:
     """A dense Manhattan-grid urban deployment (the large-``n`` workload).
 
@@ -447,6 +504,15 @@ def dense_urban(
     per-direction shadowing — so the space is asymmetric and decay is not a
     function of distance alone, pushing the metricity above ``alpha``.
     Deterministic in ``seed``.
+
+    Above the materialize limit (or with ``lazy=True``) the builder
+    switches to a lazy :class:`PointDecaySpace` whose shadowing is the
+    correlated per-node model ``(g_p + h_q) / sqrt(2)`` — marginally
+    standard normal per ordered pair and asymmetric like the dense draw,
+    but a pure function of the node indices so entries can be recomputed
+    on demand; the certified decay floor comes from the extreme per-node
+    draws.  The lazy draw is a *different* realization from the dense one
+    (same model family); byte-identity cross-checks use the dense branch.
     """
     rng = np.random.default_rng(seed)
     blocks = max(2, int(np.ceil(np.sqrt(n_links / 8.0))))
@@ -468,6 +534,34 @@ def dense_urban(
     )
     receivers = _receivers_near(senders, rng, min_len=0.5, max_len=1.5)
     pts = np.concatenate([senders, receivers])
+    if lazy is None:
+        lazy = pts.shape[0] > _LAZY_NODE_LIMIT
+    if lazy:
+        g = rng.normal(0.0, 1.0, size=pts.shape[0])
+        h = rng.normal(0.0, 1.0, size=pts.shape[0])
+        inv_sqrt2 = 1.0 / np.sqrt(2.0)
+
+        def perturb(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+            aligned = (
+                np.abs(pts[p][..., 0] - pts[q][..., 0]) < street_width
+            ) | (np.abs(pts[p][..., 1] - pts[q][..., 1]) < street_width)
+            shadow = (g[p] + h[q]) * inv_sqrt2
+            db = np.where(aligned, 0.0, nlos_extra_db) + np.where(
+                aligned, sigma_los_db, sigma_nlos_db
+            ) * shadow
+            return 10.0 ** (db / 10.0)
+
+        # Worst achievable shadowing over any ordered pair bounds the
+        # perturbation from below, certifying the sparse backend's
+        # far-field envelope.
+        zmin = (g.min() + h.min()) * inv_sqrt2
+        floor_db = min(
+            sigma_los_db * zmin, nlos_extra_db + sigma_nlos_db * zmin
+        )
+        space: DecaySpace = PointDecaySpace(
+            pts, alpha, perturb=perturb, floor=10.0 ** (floor_db / 10.0)
+        )
+        return _paired_linkset(n_links, space)
     diff = pts[:, None, :] - pts[None, :, :]
     dist = np.sqrt((diff**2).sum(axis=-1))
     # Same-corridor (near-LOS) pairs: aligned within one street width in
@@ -480,7 +574,7 @@ def dense_urban(
     shadow_db = rng.normal(0.0, 1.0, size=dist.shape) * sigma
     f = dist**alpha * 10.0 ** ((loss_db + shadow_db) / 10.0)
     np.fill_diagonal(f, 0.0)
-    space = DecaySpace(f)
+    space = DecaySpace(f, geometry=SpaceGeometry.measured(pts, alpha, f))
     return _paired_linkset(n_links, space)
 
 

@@ -7,7 +7,14 @@ import pytest
 
 from repro.core.decay import DecaySpace
 from repro.errors import ReproError
-from repro.io import load_links, load_space, save_links, save_space
+from repro.io import (
+    load_links,
+    load_space,
+    load_sparse_affectance,
+    save_links,
+    save_space,
+    save_sparse_affectance,
+)
 from tests.conftest import make_planar_links, random_decay_matrix
 
 
@@ -166,3 +173,113 @@ class TestLinksRoundtrip:
         np.savez(path, decay=random_decay_matrix(3, seed=1))
         with pytest.raises(ReproError, match="not a link-set"):
             load_links(path)
+
+
+class TestGeometryRoundtrip:
+    def test_geometry_rides_along(self, tmp_path):
+        links = make_planar_links(6, alpha=3.0, seed=4)
+        assert links.space.geometry is not None
+        save_space(tmp_path / "sp", links.space)
+        save_links(tmp_path / "lk", links)
+        for loaded_space in (
+            load_space(tmp_path / "sp"),
+            load_links(tmp_path / "lk").space,
+        ):
+            geo = loaded_space.geometry
+            assert geo is not None
+            assert np.array_equal(geo.points, links.space.geometry.points)
+            assert geo.alpha == links.space.geometry.alpha
+            assert geo.floor == links.space.geometry.floor
+
+    def test_loaded_links_stay_sparse_capable(self, tmp_path):
+        from repro.algorithms.context import SchedulingContext
+
+        links = make_planar_links(10, alpha=3.0, seed=9)
+        save_links(tmp_path / "lk", links)
+        loaded = load_links(tmp_path / "lk")
+        dense = SchedulingContext(links, noise=0.0, beta=1.0)
+        sparse = SchedulingContext(
+            loaded, noise=0.0, beta=1.0, backend="sparse", eps=1e-300
+        )
+        assert dense.first_fit() == sparse.first_fit()
+
+    def test_version1_archive_without_geometry_loads(self, tmp_path):
+        path = tmp_path / "v1.npz"
+        f = random_decay_matrix(4, seed=6)
+        np.savez(path, format_version=np.array([1]), decay=f)
+        loaded = load_space(path)
+        assert np.array_equal(loaded.f, f)
+        assert loaded.geometry is None
+
+
+class TestSparseAffectanceRoundtrip:
+    def _build(self, eps=1e-2):
+        from repro.algorithms.context import SchedulingContext
+
+        links = make_planar_links(20, alpha=3.0, seed=8)
+        ctx = SchedulingContext(
+            links, noise=0.0, beta=1.0, backend="sparse", eps=eps
+        )
+        return links, ctx
+
+    def test_roundtrip(self, tmp_path):
+        _, ctx = self._build()
+        sparse = ctx.sparse_affectance
+        save_sparse_affectance(tmp_path / "sa", sparse)
+        loaded = load_sparse_affectance(tmp_path / "sa")
+        assert loaded.m == sparse.m
+        assert loaded.nnz == sparse.nnz
+        assert np.array_equal(loaded.row_ptr, sparse.row_ptr)
+        assert np.array_equal(loaded.row_idx, sparse.row_idx)
+        assert np.array_equal(loaded.col_ptr, sparse.col_ptr)
+        assert np.array_equal(loaded.col_idx, sparse.col_idx)
+        assert np.array_equal(loaded.triplets()[2], sparse.triplets()[2])
+        assert np.array_equal(loaded.tail_in, sparse.tail_in)
+        assert np.array_equal(loaded.tail_out, sparse.tail_out)
+        assert (loaded.eps, loaded.radius, loaded.cell_size) == (
+            sparse.eps,
+            sparse.radius,
+            sparse.cell_size,
+        )
+
+    def test_loaded_pattern_schedules_identically(self, tmp_path):
+        links, ctx = self._build(eps=1e-300)
+        sparse = ctx.sparse_affectance
+        save_sparse_affectance(tmp_path / "sa", sparse)
+        from repro.algorithms.context import SchedulingContext
+
+        ctx2 = SchedulingContext(
+            links, noise=0.0, beta=1.0, backend="sparse", eps=1e-300
+        )
+        ctx2._cache["sparse_affectance"] = load_sparse_affectance(
+            tmp_path / "sa"
+        )
+        assert ctx.first_fit() == ctx2.first_fit()
+        assert ctx.repeated_capacity() == ctx2.repeated_capacity()
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, decay=random_decay_matrix(3, seed=1))
+        with pytest.raises(ReproError, match="not a sparse-affectance"):
+            load_sparse_affectance(path)
+
+    def test_rejects_future_format_version(self, tmp_path):
+        _, ctx = self._build()
+        save_sparse_affectance(tmp_path / "sa", ctx.sparse_affectance)
+        # Rewrite the version stamp alone, leaving the payload intact.
+        with np.load(tmp_path / "sa.npz") as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.array([99])
+        np.savez(tmp_path / "future.npz", **payload)
+        with pytest.raises(ReproError, match="newer than supported"):
+            load_sparse_affectance(tmp_path / "future.npz")
+
+    def test_tampered_tails_fail_loudly(self, tmp_path):
+        _, ctx = self._build()
+        save_sparse_affectance(tmp_path / "sa", ctx.sparse_affectance)
+        with np.load(tmp_path / "sa.npz") as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["tail_in"] = payload["tail_in"][:-1]
+        np.savez(tmp_path / "bad.npz", **payload)
+        with pytest.raises(Exception):
+            load_sparse_affectance(tmp_path / "bad.npz")
