@@ -17,6 +17,8 @@ whose tiny shadowing floor certifies only a near-complete pattern.
 from __future__ import annotations
 
 import os
+import resource
+import time
 import tracemalloc
 
 import pytest
@@ -24,6 +26,7 @@ import pytest
 from benchmarks.conftest import once
 from repro.algorithms.context import SchedulingContext
 from repro.algorithms.repair import OnlineRepairScheduler
+from repro.algorithms.sharding import ShardedContext, ShardedRepairScheduler
 from repro.dynamics import ChurnDriver
 from repro.scenarios import build_dynamic_scenario, build_scenario
 
@@ -187,3 +190,105 @@ def test_scale_sparse_first_fit_m100k_planar_nightly(benchmark):
     ]
     benchmark.extra_info["slots"] = len(schedule)
     benchmark.extra_info["peak MiB"] = round(peak / 2**20, 1)
+
+
+#: Shard sizing for the sharded m=10^5 row: the greedy cut realizes
+#: roughly this many shards on the planar cell grid.
+SHARD_FANOUT = 16
+
+#: The PR-9 acceptance floor: sharded churn repair must beat the PR-6
+#: serial path by at least this factor of scheduler wall-clock (pattern
+#: build excluded from both sides — it is byte-identical work).
+SHARDED_SPEEDUP_FLOOR = 5.0
+
+
+def _churn_repair(links, scn, *, shards=None):
+    """Adopt + replay one churn trace; return (repairer, seconds).
+
+    The certified CSR pattern is built *before* the clock starts: the
+    sharded path slices the same pattern the serial path uses, so the
+    comparison isolates the scheduler stack (placement loop, per-event
+    repair, merge) the sharding refactor actually changes.
+    """
+    ctx = SchedulingContext(
+        links, noise=0.0, beta=1.0, backend="sparse", eps=SCALE_EPS
+    )
+    ctx.sparse_affectance
+    start = time.perf_counter()
+    if shards is None:
+        dyn = ctx.dynamic()
+        driver = ChurnDriver(dyn, scn)
+        rep = OnlineRepairScheduler(dyn)
+    else:
+        sdyn = ShardedContext(
+            ctx, target_links_per_shard=max(1, links.m // shards)
+        ).dynamic()
+        driver = ChurnDriver(sdyn, scn)
+        rep = ShardedRepairScheduler(sdyn, kind="first_fit")
+    for ev in scn.events:
+        rep.apply(*driver.step(ev.slot))
+    rep.active_schedule
+    return rep, time.perf_counter() - start
+
+
+@nightly
+def test_scale_sharded_churn_repair_m100k_nightly(benchmark):
+    """m=10^5 sharded vs serial churn repair: the PR-9 acceptance row.
+
+    Both sides adopt the same certified sparse pattern and replay the
+    same ~10^3-event poisson trace; the serial side is the PR-6
+    :class:`OnlineRepairScheduler` on the monolithic context, the
+    sharded side routes the trace through ~16 per-cell shard repairers
+    and materializes the certified merged schedule at the end.  The
+    asserted quantity is scheduler wall-clock (adoption + churn replay
+    + merge) over a trace dense enough that repair work dominates —
+    the regime the scheduler actually lives in, and the one the
+    refactor targets: every serial repair probes O(m)-member slots
+    (each departure alone re-sums a ~m/slots ledger), while the
+    sharded path confines each event to one shard's ~m/16-link
+    repairer, so the per-event gap compounds across the trace.
+    """
+    scn = build_dynamic_scenario(
+        "poisson_churn",
+        n_links=NIGHTLY_M,
+        seed=3,
+        substrate="planar_uniform",
+        horizon=2000,
+        churn_rate=0.5,
+    )
+    links = scn.initial_links()
+
+    def run():
+        serial_rep, serial_s = _churn_repair(links, scn)
+        sharded_rep, sharded_s = _churn_repair(
+            links, scn, shards=SHARD_FANOUT
+        )
+        return serial_rep, serial_s, sharded_rep, sharded_s
+
+    serial_rep, serial_s, sharded_rep, sharded_s = once(benchmark, run)
+    events = len(scn.events)
+    assert events > 0
+    # Same managed population, every merged slot certified.
+    assert sharded_rep.check()
+    placed = sum(len(s) for s in sharded_rep.active_schedule)
+    assert placed + len(sharded_rep.deferred) == sum(
+        len(s) for s in serial_rep.schedule.slots
+    ) + len(serial_rep.deferred)
+    speedup = serial_s / sharded_s
+    benchmark.extra_info["serial s, sharded s, speedup"] = [
+        round(serial_s, 1),
+        round(sharded_s, 1),
+        round(speedup, 2),
+    ]
+    benchmark.extra_info["events/sec (serial, sharded)"] = [
+        round(events / serial_s, 2),
+        round(events / sharded_s, 2),
+    ]
+    benchmark.extra_info["peak RSS MiB"] = round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+    )
+    benchmark.extra_info["shards"] = len(sharded_rep.repairers)
+    benchmark.extra_info["merge displaced"] = sharded_rep.merge_displaced
+    assert speedup >= SHARDED_SPEEDUP_FLOOR, (
+        f"sharded m=10^5 churn repair only {speedup:.2f}x over serial"
+    )

@@ -49,6 +49,13 @@ from repro.algorithms.scheduling import (
     schedule_first_fit,
     schedule_repeated_capacity,
 )
+from repro.algorithms.sharding import (
+    ShardLayout,
+    ShardedContext,
+    ShardedDynamicContext,
+    ShardedRepairScheduler,
+    build_shard_layout,
+)
 
 __all__ = [
     "AggregationResult",
@@ -61,6 +68,11 @@ __all__ = [
     "RepairStats",
     "Schedule",
     "SchedulingContext",
+    "ShardLayout",
+    "ShardedContext",
+    "ShardedDynamicContext",
+    "ShardedRepairScheduler",
+    "build_shard_layout",
     "affectance_conflict_graph",
     "amicable_subset",
     "capacity_bounded_growth",

@@ -616,7 +616,10 @@ class SchedulingContext:
     # Scheduling kernels
     # ------------------------------------------------------------------
     def first_fit(
-        self, order: Sequence[int] | None = None
+        self,
+        order: Sequence[int] | None = None,
+        *,
+        active: Iterable[int] | None = None,
     ) -> tuple[tuple[int, ...], ...]:
         """First-fit slot assignment with exact incremental feasibility.
 
@@ -628,9 +631,20 @@ class SchedulingContext:
         same delta structure repeated capacity peels slots with — grown by
         the identical per-admission accumulation as the historical loop, so
         the slots are byte-identical to it.
+
+        ``active`` restricts scheduling to a link-subset view: only the
+        given links are placed, in the global precedence order restricted
+        to them, and only their mutual affectances are ever compared —
+        the slots are what a context over just those links would produce.
+        ``order`` and ``active`` are mutually exclusive (an explicit order
+        already *is* the processed subset's order, but the full-universe
+        permutation check below would reject subsets, so the combination
+        is refused rather than half-honoured).
         """
         if order is None:
-            sequence = [int(v) for v in self.order]
+            sequence = [int(v) for v in self._active_order(active)]
+        elif active is not None:
+            raise LinkError("pass either an explicit order or active, not both")
         else:
             sequence = _validated_order(order, self.m)
         if self._backend == "sparse":
@@ -706,6 +720,7 @@ class SchedulingContext:
         *,
         admission: str = "bounded_growth",
         max_slots: int | None = None,
+        active: Iterable[int] | None = None,
     ) -> tuple[tuple[int, ...], ...]:
         """Schedule by repeatedly peeling off a capacity-approximate set.
 
@@ -759,7 +774,17 @@ class SchedulingContext:
         order = self.order
         threshold = 0.5
         guard = _LEDGER_GUARD_PER_LINK * self.m
-        ledger = _AffectanceLedger(a, full=True)
+        if active is None:
+            ledger = _AffectanceLedger(a, full=True)
+        else:
+            # Link-subset view: seed the ledger with only the active
+            # members (ascending index, matching CSR storage order).  The
+            # admission scans then see exactly the sums a context over the
+            # subset would hold, and the remaining-set mask confines every
+            # round to the view.
+            ledger = _AffectanceLedger(a, full=False)
+            for v in np.unique(np.asarray(list(active), dtype=int)):
+                ledger.add(int(v))
         slots: list[tuple[int, ...]] = []
         cap = max_slots if max_slots is not None else self.m
         while ledger.count and len(slots) < cap:
@@ -1447,13 +1472,11 @@ class DynamicContext:
         use the dense association order, making every stored float the
         exact dense matrix entry.
         """
-        from repro.geometry.cells import CellIndex
-
         if self._node_index is None:
-            geo = self._space.geometry
-            self._node_index = CellIndex(
-                np.ascontiguousarray(geo.points, dtype=float), self._radius
-            )
+            # One instance per (geometry, cell size) across all consumers:
+            # the sparse pattern maintenance here and the shard partition
+            # share it through the geometry-level cache.
+            self._node_index = self._space.geometry.node_index(self._radius)
         nidx = self._node_index
         pts = nidx.points
         radius = self._radius

@@ -149,6 +149,16 @@ class OnlineRepairScheduler:
         Per-*event* ceiling on cascade evictions across all arrivals of
         the event (``None``: only the per-arrival ``cascade`` budget
         applies).
+    universe:
+        Optional link-subset view: an iterable of context slots this
+        scheduler is responsible for (``None``: the full link universe,
+        the historical behaviour).  With a universe installed, anchors
+        and rebuilds schedule only universe links and ``apply`` ignores
+        arrivals outside it — the restriction that lets one scheduler
+        instance per shard run unmodified over a shared context (see
+        :mod:`repro.algorithms.sharding`).  Membership is maintained via
+        :meth:`universe_add` / :meth:`universe_discard` as churn reuses
+        context slots.
 
     The maintained invariant, pinned by the test suite: after any churn
     sequence, every slot satisfies the exact feasibility rule
@@ -165,6 +175,7 @@ class OnlineRepairScheduler:
         rebuild_every: int | None = None,
         max_slots: int | None = None,
         max_evictions: int | None = None,
+        universe: Sequence[int] | None = None,
     ) -> None:
         if cascade < 0:
             raise LinkError(f"cascade depth must be >= 0, got {cascade}")
@@ -202,6 +213,14 @@ class OnlineRepairScheduler:
         self._compiled: tuple[np.ndarray, ...] | None = None
         self._priorities: np.ndarray | None = None
         self._event_evictions = 0
+        #: Per schedule slot, the sorted member array (None when the
+        #: membership changed since last build) — probes and eviction
+        #: scans gather against it, so rebuilding it per probe would pay
+        #: a set conversion per slot visited (profiled hotspot).
+        self._member_cache: list[np.ndarray | None] = []
+        self._universe: set[int] | None = (
+            None if universe is None else {int(s) for s in universe}
+        )
         self._install(self._from_scratch())
         self.slot_trajectory.append(self.slot_count)
 
@@ -271,6 +290,35 @@ class OnlineRepairScheduler:
         self._priorities = weights
 
     # ------------------------------------------------------------------
+    # Universe restriction (per-shard link-subset view)
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> frozenset[int] | None:
+        """The installed link-subset view (None: all links)."""
+        return None if self._universe is None else frozenset(self._universe)
+
+    def universe_add(self, s: int) -> None:
+        """Admit context slot ``s`` into this scheduler's universe."""
+        if self._universe is not None:
+            self._universe.add(int(s))
+
+    def universe_discard(self, s: int) -> None:
+        """Drop context slot ``s`` from this scheduler's universe."""
+        if self._universe is not None:
+            self._universe.discard(int(s))
+
+    def _universe_filter(self, slots: np.ndarray) -> np.ndarray:
+        """``slots`` restricted to the universe (identity when None)."""
+        if self._universe is None or not slots.size:
+            return slots
+        keep = np.fromiter(
+            (int(s) in self._universe for s in slots),
+            dtype=bool,
+            count=slots.size,
+        )
+        return slots[keep]
+
+    # ------------------------------------------------------------------
     # Event application
     # ------------------------------------------------------------------
     def apply(
@@ -320,7 +368,10 @@ class OnlineRepairScheduler:
         fresh = [
             s
             for s in dict.fromkeys(int(x) for x in arrived)
-            if active[s] and s not in self._slot_of and s not in seen
+            if active[s]
+            and s not in self._slot_of
+            and s not in seen
+            and (self._universe is None or s in self._universe)
         ]
         self.on_arrivals(retry + fresh)
         self._post_event()
@@ -336,6 +387,7 @@ class OnlineRepairScheduler:
                 )
             self._members[t].discard(s)
             self._in_sum[t] = None  # stale; exact recompute on next probe
+            self._member_cache[t] = None
         if departed:
             self.stats.departures += len(departed)
             self._compiled = None
@@ -387,7 +439,12 @@ class OnlineRepairScheduler:
         return v
 
     def _member_array(self, t: int) -> np.ndarray:
-        return np.sort(np.fromiter(self._members[t], dtype=int))
+        """Slot ``t``'s sorted member array, cached between mutations."""
+        mem = self._member_cache[t]
+        if mem is None:
+            mem = np.sort(np.fromiter(self._members[t], dtype=int))
+            self._member_cache[t] = mem
+        return mem
 
     def _admits(self, v: int, members: np.ndarray) -> bool:
         """Extra admission rule hook beyond exact feasibility.
@@ -422,6 +479,7 @@ class OnlineRepairScheduler:
         ledger[v] = iv  # fresh value; the row add below leaves it intact
         add_row_to(ledger, a, v)
         self._members[t].add(v)
+        self._member_cache[t] = None
         self._slot_of[v] = t
         return True
 
@@ -467,6 +525,7 @@ class OnlineRepairScheduler:
             return False
         self._members.append({v})
         self._in_sum.append(dense_row(self.dyn.raw_affectance, v))
+        self._member_cache.append(None)
         self._slot_of[v] = len(self._members) - 1
         self.stats.opened += 1
         return True
@@ -550,6 +609,7 @@ class OnlineRepairScheduler:
         self._members[t].discard(u)
         del self._slot_of[u]
         self._in_sum[t] = None
+        self._member_cache[t] = None
 
     def _from_scratch(self) -> list[list[int]]:
         """The anchor schedule over the current active set.
@@ -568,32 +628,76 @@ class OnlineRepairScheduler:
         build); identical admission rule and order (length, then slot
         index) as :meth:`SchedulingContext.first_fit`, so on a quiescent
         context the result matches the static scheduler slot for slot.
+        When a universe restriction is installed (per-shard repair, see
+        :meth:`set_universe`) only universe links are scheduled.
+
+        Slot members live in amortized-doubling numpy buffers: the
+        probe's ledger gather ``in_aff[members] + av[members]`` is then
+        a pure array fancy-index.  With Python lists instead (the
+        original implementation), every probe re-converted a list of up
+        to thousands of ints into a fresh index array — the single worst
+        Python overhead ``benchmarks/profile_place.py`` finds in the
+        serial m=10^4 baseline (~60% of wall time).  The compared floats
+        are untouched, so the slots stay byte-identical.
         """
         dyn = self.dyn
-        act = dyn.active_slots
+        act = self._universe_filter(dyn.active_slots)
         a = dyn.raw_affectance
         order = act[np.lexsort((act, dyn.lengths[act]))]
-        slots: list[list[int]] = []
+        bufs: list[np.ndarray] = []
+        sizes: list[int] = []
         sums: list[np.ndarray] = []
+        # The probed row of ``v`` is materialized into one reused scratch
+        # vector (zero the previous row's support, scatter the new one):
+        # a fresh ``dense_row`` per link costs an O(capacity) allocation,
+        # which dominates the loop at large m.  The scratch holds exactly
+        # the dense row's floats (untouched entries are the same +0.0),
+        # so every comparison and ledger update below is byte-identical;
+        # it is only copied out when ``v`` opens a new slot and the row
+        # becomes that slot's ledger.
+        dense_a = isinstance(a, np.ndarray)
+        scratch: np.ndarray | None = None
+        prev_idx: np.ndarray | None = None
         for v in order:
             v = int(v)
-            av = dense_row(a, v)
-            for t, slot in enumerate(slots):
+            if dense_a:
+                av = a[v]
+            else:
+                if scratch is None:
+                    scratch = np.zeros(a.n)
+                elif prev_idx is not None and prev_idx.size:
+                    scratch[prev_idx] = 0.0
+                prev_idx, rval = a.row(v)
+                scratch[prev_idx] = rval
+                av = scratch
+            for t in range(len(bufs)):
                 in_aff = sums[t]
                 if in_aff[v] > 1.0:
                     continue
-                if np.all(in_aff[slot] + av[slot] <= 1.0):
-                    slot.append(v)
+                mem = bufs[t][: sizes[t]]
+                if np.all(in_aff[mem] + av[mem] <= 1.0):
+                    if sizes[t] == bufs[t].size:
+                        grown = np.empty(2 * bufs[t].size, dtype=np.int64)
+                        grown[: sizes[t]] = bufs[t]
+                        bufs[t] = grown
+                    bufs[t][sizes[t]] = v
+                    sizes[t] += 1
                     in_aff += av
                     break
             else:
-                slots.append([v])
-                sums.append(av)
-        return slots
+                buf = np.empty(4, dtype=np.int64)
+                buf[0] = v
+                bufs.append(buf)
+                sizes.append(1)
+                sums.append(av.copy())
+        return [
+            [int(u) for u in bufs[t][: sizes[t]]] for t in range(len(bufs))
+        ]
 
     def _install(self, slots: list[list[int]]) -> None:
         self._members = [set(s) for s in slots]
         self._in_sum = [None] * len(slots)
+        self._member_cache = [None] * len(slots)
         self._slot_of = {
             v: t for t, slot in enumerate(slots) for v in slot
         }
@@ -654,6 +758,7 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
         compaction_probes: int | None = None,
         max_slots: int | None = None,
         max_evictions: int | None = None,
+        universe: Sequence[int] | None = None,
     ) -> None:
         if admission not in ("bounded_growth", "general", "adaptive"):
             raise LinkError(
@@ -686,6 +791,7 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
             rebuild_every=rebuild_every,
             max_slots=max_slots,
             max_evictions=max_evictions,
+            universe=universe,
         )
 
     # ------------------------------------------------------------------
@@ -705,7 +811,23 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
         if act.size == 0:
             return []
         ctx = dyn.freeze()
-        slots = ctx.repeated_capacity(admission=self.admission)
+        if self._universe is None:
+            slots = ctx.repeated_capacity(admission=self.admission)
+        else:
+            # The frozen context indexes the active links in ``act``
+            # order; restrict the peel to the universe's positions.
+            own = np.flatnonzero(
+                np.fromiter(
+                    (int(s) in self._universe for s in act),
+                    dtype=bool,
+                    count=act.size,
+                )
+            )
+            if not own.size:
+                return []
+            slots = ctx.repeated_capacity(
+                admission=self.admission, active=own
+            )
         return [[int(act[i]) for i in slot] for slot in slots]
 
     def _admits(self, v: int, members: np.ndarray) -> bool:
@@ -793,6 +915,8 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
                         self._slot_of[int(u)] = dst
                     self._in_sum[src] = None
                     self._in_sum[dst] = None
+                    self._member_cache[src] = None
+                    self._member_cache[dst] = None
                     self._compiled = None
                     merged += 1
                     self.stats.merged += 1

@@ -254,12 +254,27 @@ class _SparseView:
         order = np.argsort(idx, kind="stable")
         sorted_idx = idx[order]
         out = np.zeros(idx.size)
+        # Gather every member row once, then resolve membership with a
+        # single searchsorted/bincount pass: per-row numpy round-trips
+        # dominate wall time for slot-sized subsets (tens of thousands of
+        # members), the batched pass is a handful of O(nnz_S) kernels.
+        parts_idx: list[np.ndarray] = []
+        parts_val: list[np.ndarray] = []
         for r in idx:
             ridx, rval = self.row(int(r))
-            pos = np.searchsorted(sorted_idx, ridx)
-            pos_c = np.minimum(pos, sorted_idx.size - 1)
-            hit = sorted_idx[pos_c] == ridx
-            np.add.at(out, order[pos_c[hit]], rval[hit])
+            if ridx.size:
+                parts_idx.append(ridx)
+                parts_val.append(rval)
+        if not parts_idx:
+            return out
+        cols = np.concatenate(parts_idx)
+        vals = np.concatenate(parts_val)
+        pos = np.searchsorted(sorted_idx, cols)
+        pos_c = np.minimum(pos, sorted_idx.size - 1)
+        hit = sorted_idx[pos_c] == cols
+        out[order] = np.bincount(
+            pos_c[hit], weights=vals[hit], minlength=sorted_idx.size
+        )
         return out
 
 
@@ -346,15 +361,29 @@ class SparseAffectance:
             raise LinkError("sparse triplet arrays must be aligned")
         if self.tail_in.shape != (self.m,) or self.tail_out.shape != (self.m,):
             raise LinkError(f"tail bounds must have shape ({self.m},)")
-        order = np.lexsort((cols, rows))
-        self.row_idx = cols[order]
-        self._row_raw = values[order]
+        # Row-major sort — skipped when the triplets already arrive
+        # sorted (pattern slices preserve the parent's CSR order, so the
+        # check turns the per-shard slice lexsorts into O(nnz) scans).
+        if rows.size and not bool(
+            np.all(
+                (rows[1:] > rows[:-1])
+                | ((rows[1:] == rows[:-1]) & (cols[1:] > cols[:-1]))
+            )
+        ):
+            order = np.lexsort((cols, rows))
+            rows = rows[order]
+            cols = cols[order]
+            values = values[order]
+        self.row_idx = cols
+        self._row_raw = values
         self._row_clip = np.minimum(self._row_raw, 1.0)
         counts = np.bincount(rows, minlength=self.m)
         self.row_ptr = np.concatenate(
             [[0], np.cumsum(counts)]
         ).astype(np.int64)
-        order_c = np.lexsort((rows, cols))
+        # On row-sorted triplets a stable single-key sort by column is
+        # exactly ``lexsort((rows, cols))`` — and radix-sorts int keys.
+        order_c = np.argsort(cols, kind="stable")
         self.col_idx = rows[order_c]
         self._col_raw = values[order_c]
         self._col_clip = np.minimum(self._col_raw, 1.0)

@@ -84,10 +84,32 @@ class SpaceGeometry:
         object.__setattr__(self, "points", pts)
         object.__setattr__(self, "alpha", float(self.alpha))
         object.__setattr__(self, "floor", float(self.floor))
+        object.__setattr__(self, "_node_index_cache", {})
 
     @property
     def n(self) -> int:
         return self.points.shape[0]
+
+    def node_index(self, cell_size: float) -> "object":
+        """The node-level spatial cell index at ``cell_size``, cached.
+
+        The same index is consumed by several layers — the sparse
+        ``DynamicContext`` adjacency queries and the shard partition both
+        need a :class:`~repro.geometry.cells.CellIndex` over *all* nodes
+        at the certified interaction radius.  Building it is O(n log n);
+        caching per cell size here means one build serves every consumer
+        of this geometry (positions are immutable, so the index never
+        goes stale).
+        """
+        key = float(cell_size)
+        cache = self._node_index_cache  # type: ignore[attr-defined]
+        index = cache.get(key)
+        if index is None:
+            from repro.geometry.cells import CellIndex
+
+            index = CellIndex(self.points, key)
+            cache[key] = index
+        return index
 
     @classmethod
     def measured(

@@ -41,6 +41,14 @@ settings.register_profile(
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
+
+def pytest_configure(config):
+    """Register project markers (there is no pytest.ini to carry them)."""
+    config.addinivalue_line(
+        "markers",
+        "shards: sharded scheduling/repair suites (select with -m shards)",
+    )
+
 #: Example budget for the heavy churn-trace property suites (each
 #: example replays a whole churn trace with from-scratch cross-checks):
 #: a fifth of the active profile's budget, so tier-1 stays cheap while
