@@ -1,0 +1,97 @@
+"""Benchmarks for the scheduler service daemon (repro.service).
+
+Two tiers, both driving the real asyncio daemon through the load
+generator (the numbers land in ``BENCH_service.json`` at the repo root,
+matching the CI smoke job's artifact):
+
+* ``test_service_smoke_scale`` — the per-PR row: a 200-event m=500
+  poisson-churn replay through the per-event daemon.  Cheap enough for
+  every push; asserts the trace size and that latency percentiles are
+  reported.
+* ``test_service_throughput_scale`` — the nightly acceptance row
+  (``NIGHTLY_SCALE=1``): the m=10^4 sparse replay at the documented
+  operating point — ``planar_uniform`` substrate, eps=0.2 with the
+  interaction radius pinned to 12 (the certified radius at that eps
+  saturates near 32 with mean degree ~96; pinning 12 trades certified
+  slack for ~8x throughput, mean degree ~14), micro-batch 64.  Asserts
+  the sustained-throughput floor (default 1000 events/sec, the PR
+  acceptance bar; override with ``SERVICE_MIN_EPS`` on constrained
+  runners) and that p99 admission latency is reported.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.service.loadgen import _write_report, run_loadgen
+
+#: Where the rows accumulate (repo root, next to the other BENCH docs).
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_service.json"
+)
+
+SMOKE_M = 500
+SMOKE_EVENTS = 200
+
+SCALE_M = 10_000
+SCALE_EVENTS = 600
+SCALE_RADIUS = 12.0
+SCALE_BATCH = 64
+
+
+def _loadgen_row(label: str, **kwargs) -> dict:
+    report = run_loadgen(
+        scenario="poisson_churn",
+        seed=0,
+        scenario_kwargs={
+            "churn_rate": 1.0,
+            "substrate": "planar_uniform",
+        },
+        **kwargs,
+    )
+    _write_report(BENCH_PATH, label, report)
+    return report
+
+
+def test_service_smoke_scale():
+    """Per-PR service row: 200-event m=500 replay, per-event daemon."""
+    # churn_rate=1.0 yields one arrival + one departure per tick, so
+    # horizon == event count.
+    report = _loadgen_row(
+        f"smoke_m{SMOKE_M}",
+        n_links=SMOKE_M,
+        horizon=SMOKE_EVENTS,
+        backend="dense",
+        batch=1,
+    )
+    assert report["events"] >= SMOKE_EVENTS
+    assert report["events_per_s"] > 0
+    assert report["admit_p50_ms"] is not None
+    assert report["admit_p99_ms"] >= report["admit_p50_ms"]
+
+
+@pytest.mark.skipif(
+    not os.environ.get("NIGHTLY_SCALE"),
+    reason="m=10^4 service throughput row runs in the nightly-scale job",
+)
+def test_service_throughput_scale():
+    """Nightly acceptance row: >= 1000 events/sec at m=10^4 sparse."""
+    floor = float(os.environ.get("SERVICE_MIN_EPS", "1000"))
+    report = _loadgen_row(
+        f"throughput_m{SCALE_M}_r{SCALE_RADIUS:g}_b{SCALE_BATCH}",
+        n_links=SCALE_M,
+        horizon=SCALE_EVENTS,
+        backend="sparse",
+        eps=0.2,
+        radius=SCALE_RADIUS,
+        batch=SCALE_BATCH,
+    )
+    assert report["events"] >= SCALE_EVENTS
+    assert report["admit_p99_ms"] is not None
+    assert report["events_per_s"] >= floor, (
+        f"service daemon sustained {report['events_per_s']:.0f} events/s "
+        f"< required {floor:.0f} at the m={SCALE_M} operating point"
+    )

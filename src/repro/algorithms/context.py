@@ -43,6 +43,7 @@ from repro.core.affectance import (
     noise_constants,
 )
 from repro.core.affectance_sparse import (
+    _DENSE_BLOCK_LIMIT,
     SparseAffectance,
     SparseLinkDistances,
     _SparseView,
@@ -887,6 +888,42 @@ class _DynSparseView(_SparseView):
     def col(self, v: int) -> tuple[np.ndarray, np.ndarray]:
         return self._layer(self._dyn._col[int(v)])
 
+    def rows_sum(self, members) -> np.ndarray:
+        """Member-row sum, reading the maintained adjacency directly.
+
+        Same two regimes as the mixin (dense-block twin within the
+        budget, bincount scatter beyond it), but the scatter path skips
+        the per-row ``row()``/clip round trip: raw layers are gathered
+        straight from the adjacency lists and clipped once on the
+        concatenation — elementwise ``min`` commutes with concatenation,
+        so the floats match the per-row reads bit for bit.
+        """
+        members = np.asarray(members, dtype=int)
+        n = self.n
+        if members.size == 0:
+            return np.zeros(n)
+        if members.size * n <= _DENSE_BLOCK_LIMIT:
+            return super().rows_sum(members)
+        row = self._dyn._row
+        parts_i: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        keep_i = parts_i.append
+        keep_v = parts_v.append
+        # tolist(): plain-int indices — numpy scalars pay ~10x per list
+        # subscript in this, the hottest loop of the repair path.
+        for r in members.tolist():
+            idx, val = row[r]
+            if idx.size:
+                keep_i(idx)
+                keep_v(val)
+        if not parts_i:
+            return np.zeros(n)
+        cat_i = np.concatenate(parts_i)
+        cat_v = np.concatenate(parts_v)
+        if self._clipped:
+            cat_v = np.minimum(cat_v, 1.0)
+        return np.bincount(cat_i, weights=cat_v, minlength=n)
+
 
 class DynamicContext:
     """Incremental link arrivals and departures over a fixed decay space.
@@ -948,6 +985,7 @@ class DynamicContext:
         "_in_sum", "_out_sum",
         "_backend", "_eps", "_radius", "_row", "_col",
         "_node_index", "_by_sender", "_by_receiver",
+        "last_removed_rows",
     )
 
     _MIN_CAPACITY = 8
@@ -1063,6 +1101,13 @@ class DynamicContext:
         self._count = 0
         self._in_sum = np.zeros(cap)
         self._out_sum = np.zeros(cap)
+        #: Row patterns of the most recent :meth:`remove_links` batch
+        #: (sparse backend): slot -> the column indices its row held just
+        #: before removal.  Consumers that maintain derived per-position
+        #: sums (the repair schedulers' ledgers) read this to re-exact
+        #: only the entries a departure actually touched instead of
+        #: recomputing whole slots; replaced wholesale on every removal.
+        self.last_removed_rows: dict[int, np.ndarray] = {}
 
     @classmethod
     def _from_context(
@@ -1533,26 +1578,110 @@ class DynamicContext:
         self._extend_adjacency(self._row, ww, vv, vals)
         self._extend_adjacency(self._col, vv, ww, vals)
 
-    @staticmethod
     def _extend_adjacency(
+        self,
         adj: list[tuple[np.ndarray, np.ndarray]],
         keys: np.ndarray,
         others: np.ndarray,
         vals: np.ndarray,
     ) -> None:
         """Append ``(others, vals)`` entries to ``adj[key]`` per key,
-        re-sorting each touched slot to keep the index-sorted invariant."""
-        order = np.argsort(keys, kind="stable")
+        keeping every touched slot index-sorted.
+
+        All touched slots merge in one pass: both streams are sorted
+        under the composite (slot, index) key — old arrays by the
+        maintained invariant, new entries by the up-front composite
+        sort (within one slot they may arrive as several sorted runs,
+        e.g. by-sender then by-receiver, so sorting by slot alone is
+        not enough) — so a single ``searchsorted`` + ``np.insert``
+        produces every slot's sorted merge at once.  Indices are unique
+        per slot (a new link's partners are never already present), so
+        the merge equals the per-slot ``argsort`` of the concatenation
+        exactly.
+        """
+        big = self._capacity  # strict index upper bound
+        order = np.argsort(
+            keys.astype(np.int64) * big + others, kind="stable"
+        )
         ks, os_, vs = keys[order], others[order], vals[order]
         uniq, starts = np.unique(ks, return_index=True)
-        bounds = np.append(starts, ks.size)
-        for j, key in enumerate(uniq.tolist()):
-            seg = slice(bounds[j], bounds[j + 1])
-            oi, ov = adj[key]
-            mi = np.concatenate([oi, os_[seg]])
-            mv = np.concatenate([ov, vs[seg]])
-            merged = np.argsort(mi)
-            adj[key] = (mi[merged], mv[merged])
+        counts = np.diff(np.append(starts, ks.size))
+        slots = uniq.tolist()
+        old = [adj[key] for key in slots]
+        old_lens = np.array([o[0].size for o in old], dtype=np.int64)
+        old_idx = np.concatenate([o[0] for o in old])
+        old_val = np.concatenate([o[1] for o in old])
+        ranks = np.arange(len(slots), dtype=np.int64)
+        key_old = np.repeat(ranks, old_lens) * big + old_idx
+        key_new = np.repeat(ranks, counts) * big + os_
+        pos = np.searchsorted(key_old, key_new)
+        merged_idx = np.insert(old_idx, pos, os_)
+        merged_val = np.insert(old_val, pos, vs)
+        offs = np.zeros(len(slots) + 1, dtype=np.int64)
+        np.cumsum(old_lens + counts, out=offs[1:])
+        bounds = offs.tolist()
+        for j, key in enumerate(slots):
+            lo, hi = bounds[j], bounds[j + 1]
+            # Views into the merged buffer: adjacency is replaced
+            # wholesale on every mutation, never edited in place, and
+            # the buffer holds exactly these slots' rows, so no slack
+            # memory is pinned.
+            adj[key] = (merged_idx[lo:hi], merged_val[lo:hi])
+
+    def _shrink_adjacency(
+        self,
+        adj: list[tuple[np.ndarray, np.ndarray]],
+        partners: np.ndarray,
+        targets: np.ndarray,
+    ) -> None:
+        """Drop entry ``targets[j]`` from ``adj[partners[j]]``, for all
+        ``j``, in one pass over the concatenated partner arrays.
+
+        The composite (partner-rank, index) key locates every target in
+        every partner with a single ``searchsorted``; pairs whose entry
+        is already gone (both endpoints leaving in one batch) simply
+        miss.  Equivalent to the historical per-partner mask filter:
+        indices are unique per slot, so each pair deletes at most one
+        entry and the survivors keep their order.
+        """
+        big = self._capacity
+        order = np.argsort(
+            partners.astype(np.int64) * big + targets, kind="stable"
+        )
+        ps, ts = partners[order], targets[order]
+        uniq, starts = np.unique(ps, return_index=True)
+        counts = np.diff(np.append(starts, ps.size))
+        slots = uniq.tolist()
+        old = [adj[p] for p in slots]
+        lens = np.array([o[0].size for o in old], dtype=np.int64)
+        flat_i = np.concatenate([o[0] for o in old])
+        flat_v = np.concatenate([o[1] for o in old])
+        ranks = np.arange(len(slots), dtype=np.int64)
+        key = np.repeat(ranks, lens) * big + flat_i
+        target = np.repeat(ranks, counts) * big + ts
+        pos = np.searchsorted(key, target)
+        pos_c = np.minimum(pos, max(key.size - 1, 0))
+        hit = (
+            (key[pos_c] == target)
+            if key.size
+            else np.zeros(target.size, dtype=bool)
+        )
+        gone_per_slot = np.bincount(
+            np.repeat(ranks, counts)[hit], minlength=len(slots)
+        )
+        if hit.any():
+            flat_i = np.delete(flat_i, pos[hit])
+            flat_v = np.delete(flat_v, pos[hit])
+        offs = np.zeros(len(slots) + 1, dtype=np.int64)
+        np.cumsum(lens - gone_per_slot, out=offs[1:])
+        bounds = offs.tolist()
+        for j, p in enumerate(slots):
+            lo, hi = bounds[j], bounds[j + 1]
+            # Views into the surviving buffer: adjacency is replaced
+            # wholesale on every mutation, never edited in place, and
+            # the buffer holds exactly these slots' rows, so no slack
+            # memory is pinned.
+            adj[p] = (flat_i[lo:hi], flat_v[lo:hi])
 
     def _update_dist_block(
         self,
@@ -1618,25 +1747,31 @@ class DynamicContext:
                 if s < 0 or s >= self._capacity or not self._active[s]
             ]
             raise LinkError(f"cannot remove inactive slots {bad[:5]}")
+        removed_rows: dict[int, np.ndarray] = {}
         if self._backend == "sparse":
+            col_partners: list[np.ndarray] = []
+            row_partners: list[np.ndarray] = []
+            col_targets: list[np.ndarray] = []
+            row_targets: list[np.ndarray] = []
             for s in idx.tolist():
                 # Shed this slot's row (its effect on survivors) and column
                 # (survivors' effect on it), unhooking both adjacency
-                # mirrors.  Mask filtering is idempotent, so when both
-                # endpoints of a pair leave in the same batch the second
-                # pass simply finds the entry already gone.
+                # mirrors.  The pair streams are collected across the whole
+                # batch and applied in two passes below; pair deletion is
+                # idempotent, so when both endpoints of a pair leave in
+                # the same batch the second entry simply finds the slot
+                # already zeroed and misses.
                 ri, rv = self._row[s]
+                removed_rows[s] = ri
                 self._in_sum[ri] -= np.minimum(rv, 1.0)
-                for v in ri.tolist():
-                    ci, cv = self._col[v]
-                    keep = ci != s
-                    self._col[v] = (ci[keep], cv[keep])
+                if ri.size:
+                    col_partners.append(ri)
+                    col_targets.append(np.full(ri.size, s, dtype=np.int64))
                 ci, cv = self._col[s]
                 self._out_sum[ci] -= np.minimum(cv, 1.0)
-                for w in ci.tolist():
-                    wi, wv = self._row[w]
-                    keep = wi != s
-                    self._row[w] = (wi[keep], wv[keep])
+                if ci.size:
+                    row_partners.append(ci)
+                    row_targets.append(np.full(ci.size, s, dtype=np.int64))
                 self._row[s] = _EMPTY_ADJ
                 self._col[s] = _EMPTY_ADJ
                 snode = int(self._senders[s])
@@ -1651,6 +1786,18 @@ class DynamicContext:
                     group.discard(s)
                     if not group:
                         del self._by_receiver[rnode]
+            if col_partners:
+                self._shrink_adjacency(
+                    self._col,
+                    np.concatenate(col_partners),
+                    np.concatenate(col_targets),
+                )
+            if row_partners:
+                self._shrink_adjacency(
+                    self._row,
+                    np.concatenate(row_partners),
+                    np.concatenate(row_targets),
+                )
         else:
             self._in_sum -= self._a_clip[idx].sum(axis=0)
             self._out_sum -= self._a_clip[:, idx].sum(axis=1)
@@ -1661,6 +1808,7 @@ class DynamicContext:
             if self._dist is not None:
                 self._dist[idx, :] = 0.0
                 self._dist[:, idx] = 0.0
+        self.last_removed_rows = removed_rows
         self._in_sum[idx] = 0.0
         self._out_sum[idx] = 0.0
         self._active[idx] = False

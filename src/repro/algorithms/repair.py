@@ -77,6 +77,7 @@ from repro.algorithms.context import (
 )
 from repro.core.affectance import in_affectances_within
 from repro.core.affectance_sparse import (
+    _DENSE_BLOCK_LIMIT,
     add_row_to,
     dense_row,
     gather_col,
@@ -103,7 +104,9 @@ class RepairStats:
     opened because no existing slot could take an arrival, ``evictions``
     cascade evictions, ``rebuilds`` full re-anchors triggered by
     ``rebuild_every`` (the initial anchor is not counted), ``deferred``
-    placements postponed to the next event by the ``max_slots`` bound,
+    *deferral episodes* under the ``max_slots`` bound — a link entering
+    the deferred queue counts once, and a retry that fails again at the
+    next event keeps the same episode open instead of re-counting it,
     ``compactions`` compaction passes that merged at least one slot, and
     ``merged`` slots emptied by compaction merges.  Counters are never
     reset — a rebuild re-anchors the schedule, not the history.
@@ -118,6 +121,29 @@ class RepairStats:
     deferred: int = 0
     compactions: int = 0
     merged: int = 0
+
+    _FIELDS = (
+        "events", "placements", "departures", "opened", "evictions",
+        "rebuilds", "deferred", "compactions", "merged",
+    )
+
+    def as_array(self) -> np.ndarray:
+        """The counters as one int64 vector (checkpoint payload)."""
+        return np.array(
+            [getattr(self, f) for f in self._FIELDS], dtype=np.int64
+        )
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "RepairStats":
+        """Rebuild counters saved by :meth:`as_array`."""
+        if np.asarray(values).shape != (len(cls._FIELDS),):
+            raise LinkError(
+                f"repair stats vector must have {len(cls._FIELDS)} "
+                f"entries, got shape {np.asarray(values).shape}"
+            )
+        return cls(**{
+            f: int(v) for f, v in zip(cls._FIELDS, np.asarray(values))
+        })
 
 
 class OnlineRepairScheduler:
@@ -159,6 +185,11 @@ class OnlineRepairScheduler:
         :mod:`repro.algorithms.sharding`).  Membership is maintained via
         :meth:`universe_add` / :meth:`universe_discard` as churn reuses
         context slots.
+    anchor:
+        ``False`` skips the construction-time from-scratch anchor and
+        installs an *empty* schedule — the checkpoint-restore path: the
+        caller must immediately install an exported schedule via
+        :meth:`restore_state`.  Every other use keeps the default.
 
     The maintained invariant, pinned by the test suite: after any churn
     sequence, every slot satisfies the exact feasibility rule
@@ -176,6 +207,7 @@ class OnlineRepairScheduler:
         max_slots: int | None = None,
         max_evictions: int | None = None,
         universe: Sequence[int] | None = None,
+        anchor: bool = True,
     ) -> None:
         if cascade < 0:
             raise LinkError(f"cascade depth must be >= 0, got {cascade}")
@@ -213,6 +245,11 @@ class OnlineRepairScheduler:
         self._compiled: tuple[np.ndarray, ...] | None = None
         self._priorities: np.ndarray | None = None
         self._event_evictions = 0
+        #: Links being retried from the deferred queue in the current
+        #: placement batch: a retry that fails again re-enters the queue
+        #: it never really left, so it must not re-count the deferral
+        #: episode in ``stats.deferred``.
+        self._requeued: frozenset[int] = frozenset()
         #: Per schedule slot, the sorted member array (None when the
         #: membership changed since last build) — probes and eviction
         #: scans gather against it, so rebuilding it per probe would pay
@@ -221,8 +258,14 @@ class OnlineRepairScheduler:
         self._universe: set[int] | None = (
             None if universe is None else {int(s) for s in universe}
         )
-        self._install(self._from_scratch())
-        self.slot_trajectory.append(self.slot_count)
+        if anchor:
+            self._install(self._from_scratch())
+            self.slot_trajectory.append(self.slot_count)
+        else:
+            # Checkpoint-restore path: the caller installs a previously
+            # exported schedule via :meth:`restore_state` instead of
+            # paying (and recording) a from-scratch anchor.
+            self._install([])
 
     # ------------------------------------------------------------------
     # Read side
@@ -319,6 +362,171 @@ class OnlineRepairScheduler:
         return slots[keep]
 
     # ------------------------------------------------------------------
+    # Checkpoint state (the repro.io scheduler-state format's payload)
+    # ------------------------------------------------------------------
+    #: Tag stored with exported state so a checkpoint written by one
+    #: scheduler family cannot be silently restored into the other.
+    _STATE_KIND = "first_fit"
+
+    def slot_of(self, s: int) -> int | None:
+        """Maintained schedule slot holding context slot ``s`` (``None``
+        when the link is unscheduled — deferred, inactive or unknown).
+        Indexes the raw slot list including empty entries, matching
+        :attr:`schedule` only while no slot has drained."""
+        return self._slot_of.get(int(s))
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """The maintained schedule as flat arrays (checkpoint payload).
+
+        Everything a byte-identical resume depends on rides along: the
+        slot membership *including empty slots* (arrivals probe schedule
+        slots in list order, so dropping a drained slot would change
+        future placements), the per-slot ledger sums exactly as
+        maintained (a recompute could differ by ulps from the
+        incrementally accumulated values and flip a borderline
+        admission), the deferred queue in retry order, the stats
+        counters (rebuild and compaction anchors fire on
+        ``stats.events % k``), the slot trajectory, and the universe
+        restriction when installed.  Member caches are derived data and
+        are rebuilt on demand.
+        """
+        members = [self._member_array(t) for t in range(len(self._members))]
+        offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        if members:
+            np.cumsum([a.size for a in members], out=offsets[1:])
+        flat = (
+            np.concatenate(members).astype(np.int64)
+            if members
+            else np.empty(0, dtype=np.int64)
+        )
+        cap = self.dyn.capacity
+        # A ledger held at a stale capacity is recomputed on the next
+        # probe anyway; exporting it as stale keeps the stack rectangular.
+        stale = np.array(
+            [v is None or v.shape[0] != cap for v in self._in_sum],
+            dtype=bool,
+        )
+        sums = [
+            v
+            for v, is_stale in zip(self._in_sum, stale)
+            if not is_stale
+        ]
+        state = {
+            "repair_kind": np.array([self._STATE_KIND], dtype=np.str_),
+            "repair_members": flat,
+            "repair_offsets": offsets,
+            "repair_ledger_stale": stale,
+            "repair_ledgers": (
+                np.stack(sums) if sums else np.empty((0, 0))
+            ),
+            "repair_deferred": np.array(self._deferred, dtype=np.int64),
+            "repair_stats": self.stats.as_array(),
+            "repair_trajectory": np.array(
+                self.slot_trajectory, dtype=np.int64
+            ),
+            "repair_has_universe": np.array(
+                [self._universe is not None], dtype=bool
+            ),
+            "repair_universe": np.array(
+                sorted(self._universe) if self._universe else [],
+                dtype=np.int64,
+            ),
+        }
+        return state
+
+    def restore_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install a schedule exported by :meth:`export_state`.
+
+        The restored scheduler continues exactly where the exporter
+        stopped: identical slot membership (empty slots preserved in
+        place), identical ledger floats, identical deferred queue and
+        stats, so every future placement decision matches an
+        uninterrupted run byte for byte.  Membership is cross-checked
+        against the context's activity mask — restoring against a
+        context in a different churn state fails loudly instead of
+        silently desynchronising.
+        """
+        kind = str(np.asarray(state["repair_kind"])[0])
+        if kind != self._STATE_KIND:
+            raise LinkError(
+                f"checkpoint holds a {kind!r} scheduler state; this is "
+                f"a {self._STATE_KIND!r} scheduler"
+            )
+        had_universe = bool(np.asarray(state["repair_has_universe"])[0])
+        if had_universe != (self._universe is not None):
+            raise LinkError(
+                "checkpoint universe restriction does not match this "
+                "scheduler's wiring (one side is a link-subset view, "
+                "the other is not)"
+            )
+        if had_universe:
+            # Universe membership migrates as churn reuses context
+            # slots, so the exported view — not the constructor's
+            # initial interior — is the live one.
+            self._universe = {int(v) for v in state["repair_universe"]}
+        offsets = np.asarray(state["repair_offsets"], dtype=np.int64)
+        flat = np.asarray(state["repair_members"], dtype=np.int64)
+        deferred = [int(v) for v in state["repair_deferred"]]
+        active = self.dyn.active_mask
+        touched = np.concatenate([flat, np.asarray(deferred, dtype=np.int64)])
+        if touched.size and (
+            touched.min() < 0
+            or touched.max() >= self.dyn.capacity
+            or not bool(np.all(active[touched]))
+        ):
+            raise LinkError(
+                "checkpointed schedule references context slots that "
+                "are not active in this context — the checkpoint does "
+                "not match the context's churn state"
+            )
+        slots = [
+            {int(v) for v in flat[offsets[t] : offsets[t + 1]]}
+            for t in range(offsets.size - 1)
+        ]
+        slot_of = {v: t for t, s in enumerate(slots) for v in s}
+        if len(slot_of) != flat.size or flat.size != int(offsets[-1]):
+            raise LinkError(
+                "checkpointed schedule assigns some link to two slots"
+            )
+        if self._universe is not None:
+            missing = [v for v in slot_of if v not in self._universe]
+            missing += [v for v in deferred if v not in self._universe]
+            if missing:
+                raise LinkError(
+                    "checkpointed schedule holds links outside this "
+                    f"scheduler's universe: {sorted(missing)[:8]}"
+                )
+        stale = np.asarray(state["repair_ledger_stale"], dtype=bool)
+        ledgers = np.asarray(state["repair_ledgers"], dtype=float)
+        if stale.shape != (len(slots),):
+            raise LinkError(
+                "checkpointed ledger mask does not cover the schedule"
+            )
+        cap = self.dyn.capacity
+        in_sum: list[np.ndarray | None] = []
+        fresh = iter(ledgers)
+        for t in range(len(slots)):
+            if stale[t]:
+                in_sum.append(None)
+                continue
+            v = next(fresh, None)
+            # A ledger saved at a different capacity is merely stale:
+            # the next probe recomputes it exactly from the matrices.
+            in_sum.append(
+                v.copy() if v is not None and v.shape == (cap,) else None
+            )
+        self._members = slots
+        self._slot_of = slot_of
+        self._in_sum = in_sum
+        self._member_cache = [None] * len(slots)
+        self._deferred = deferred
+        self.stats = RepairStats.from_array(state["repair_stats"])
+        self.slot_trajectory = [
+            int(v) for v in state["repair_trajectory"]
+        ]
+        self._compiled = None
+
+    # ------------------------------------------------------------------
     # Event application
     # ------------------------------------------------------------------
     def apply(
@@ -373,11 +581,32 @@ class OnlineRepairScheduler:
             and s not in seen
             and (self._universe is None or s in self._universe)
         ]
-        self.on_arrivals(retry + fresh)
+        # Retries re-enter the queue on failure without re-counting the
+        # deferral episode (see ``stats.deferred``); the marker set only
+        # lives for this batch, so a link deferred, later placed, and
+        # deferred again in a *new* episode counts again.
+        self._requeued = frozenset(retry)
+        try:
+            self.on_arrivals(retry + fresh)
+        finally:
+            self._requeued = frozenset()
         self._post_event()
 
     def on_departures(self, departed: Sequence[int]) -> None:
-        """Drop departed links: O(1) bookkeeping per link (see class doc)."""
+        """Drop departed links: O(degree) bookkeeping per link.
+
+        When the context recorded the departed row's pattern (sparse
+        backend; see :attr:`DynamicContext.last_removed_rows`), the
+        slot's ledger is *repaired in place*: only the entries the
+        departed row touched are recomputed — exactly, in ascending
+        member order, from the already-zeroed matrix — so the slot never
+        goes stale and the next probe pays O(degree) instead of an
+        O(nnz) whole-slot recompute.  Without the pattern (dense
+        backend, or departures applied outside a context removal) the
+        slot is marked stale and the next probe recomputes it in full,
+        as before.
+        """
+        removed = getattr(self.dyn, "last_removed_rows", None) or {}
         for s in departed:
             s = int(s)
             t = self._slot_of.pop(s, None)
@@ -386,8 +615,12 @@ class OnlineRepairScheduler:
                     f"context slot {s} is not in the maintained schedule"
                 )
             self._members[t].discard(s)
-            self._in_sum[t] = None  # stale; exact recompute on next probe
-            self._member_cache[t] = None
+            self._member_drop(t, s)
+            pattern = removed.get(s)
+            if pattern is None or not self._eager_repair_ok(t):
+                self._in_sum[t] = None  # stale; recompute on next probe
+            else:
+                self._repair_ledger(t, pattern)
         if departed:
             self.stats.departures += len(departed)
             self._compiled = None
@@ -446,6 +679,91 @@ class OnlineRepairScheduler:
             self._member_cache[t] = mem
         return mem
 
+    def _member_add(self, t: int, s: int) -> None:
+        """Keep slot ``t``'s sorted cache current as ``s`` joins.
+
+        A sorted insert of a value known absent reproduces the rebuilt
+        cache exactly, at O(size) instead of O(size log size).
+        """
+        mem = self._member_cache[t]
+        if mem is not None:
+            pos = int(np.searchsorted(mem, s))
+            self._member_cache[t] = np.insert(mem, pos, s)
+
+    def _member_drop(self, t: int, s: int) -> None:
+        """Counterpart of :meth:`_member_add` for a departing ``s``."""
+        mem = self._member_cache[t]
+        if mem is not None:
+            pos = int(np.searchsorted(mem, s))
+            self._member_cache[t] = np.delete(mem, pos)
+
+    def _eager_repair_ok(self, t: int) -> bool:
+        """May slot ``t``'s ledger be repaired in place (vs marked stale)?
+
+        In-place repair reproduces the *scatter* accumulation order, so
+        it is only taken in the beyond-dense-block regime where that is
+        the recompute's own order; within the block budget the recompute
+        uses the dense-twin pairwise reduction and staleness keeps the
+        historical floats bit for bit.  A ledger already stale (or held
+        at an outgrown capacity) stays on the recompute path.
+        """
+        led = self._in_sum[t]
+        cap = self.dyn.capacity
+        return (
+            led is not None
+            and led.shape[0] == cap
+            and len(self._members[t]) * cap > _DENSE_BLOCK_LIMIT
+        )
+
+    def _repair_ledger(self, t: int, positions: np.ndarray) -> None:
+        """Re-exact slot ``t``'s ledger at ``positions`` only.
+
+        Each position is summed from scratch over the slot's current
+        members in ascending order — the exact accumulation order of the
+        whole-slot recompute in :meth:`_ledger` — reading the maintained
+        column adjacency.  Entries outside ``positions`` keep their
+        maintained values: the departed row contributed nothing there,
+        so they carry the same additive history they would hold had the
+        departure never overlapped them.
+        """
+        led = self._in_sum[t]
+        if positions.size == 0:
+            return
+        members = self._member_array(t)
+        if members.size == 0:
+            led[positions] = 0.0
+            return
+        a = self.dyn.raw_affectance
+        parts_i: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        lens = []
+        for p in positions.tolist():
+            ci, cv = a.col(p)
+            parts_i.append(ci)
+            parts_v.append(cv)
+            lens.append(ci.size)
+        cat_i = np.concatenate(parts_i)
+        led[positions] = 0.0
+        if cat_i.size:
+            cat_v = np.concatenate(parts_v)
+            ranks = np.repeat(
+                np.arange(len(lens), dtype=np.int64), lens
+            )
+            pos = np.searchsorted(members, cat_i)
+            hit = (
+                members[np.minimum(pos, members.size - 1)] == cat_i
+            )
+            # Column indices ascend, so each position's surviving
+            # values sit in ascending member order; bincount's C loop
+            # accumulates weights sequentially in input order, so the
+            # per-position sums match the recompute's scatter order
+            # float for float.
+            led[positions] = np.bincount(
+                ranks[hit],
+                weights=cat_v[hit],
+                minlength=len(lens),
+            )
+
     def _admits(self, v: int, members: np.ndarray) -> bool:
         """Extra admission rule hook beyond exact feasibility.
 
@@ -479,7 +797,7 @@ class OnlineRepairScheduler:
         ledger[v] = iv  # fresh value; the row add below leaves it intact
         add_row_to(ledger, a, v)
         self._members[t].add(v)
-        self._member_cache[t] = None
+        self._member_add(t, v)
         self._slot_of[v] = t
         return True
 
@@ -521,7 +839,8 @@ class OnlineRepairScheduler:
             # schedule; queue the link for the next event instead (a
             # departure may make room, a rebuild schedules everything).
             self._deferred.append(v)
-            self.stats.deferred += 1
+            if v not in self._requeued:
+                self.stats.deferred += 1
             return False
         self._members.append({v})
         self._in_sum.append(dense_row(self.dyn.raw_affectance, v))
@@ -603,13 +922,18 @@ class OnlineRepairScheduler:
 
     def _evict(self, u: int, t: int) -> None:
         """Remove ``u`` from slot ``t`` (schedule-level only: ``u`` stays
-        active in the context).  The slot's ledger is marked stale and
-        recomputed exactly on the next probe — evictions are rare enough
-        that keeping the sums drift-free beats a subtractive update."""
+        active in the context).  The slot's ledger is repaired in place
+        at the positions ``u``'s live row touches — same exact
+        ascending-member recompute as a departure — never a subtractive
+        update, so the sums stay drift-free."""
         self._members[t].discard(u)
         del self._slot_of[u]
-        self._in_sum[t] = None
-        self._member_cache[t] = None
+        self._member_drop(t, u)
+        a = self.dyn.raw_affectance
+        if isinstance(a, np.ndarray) or not self._eager_repair_ok(t):
+            self._in_sum[t] = None  # dense/stale: full recompute on probe
+        else:
+            self._repair_ledger(t, a.row(u)[0])
 
     def _from_scratch(self) -> list[list[int]]:
         """The anchor schedule over the current active set.
@@ -747,6 +1071,8 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
     #: affectance a link may carry against the slot it joins.
     ADMISSION_THRESHOLD = 0.5
 
+    _STATE_KIND = "capacity"
+
     def __init__(
         self,
         dyn: DynamicContext,
@@ -759,6 +1085,7 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
         max_slots: int | None = None,
         max_evictions: int | None = None,
         universe: Sequence[int] | None = None,
+        anchor: bool = True,
     ) -> None:
         if admission not in ("bounded_growth", "general", "adaptive"):
             raise LinkError(
@@ -792,6 +1119,7 @@ class CapacityRepairScheduler(OnlineRepairScheduler):
             max_slots=max_slots,
             max_evictions=max_evictions,
             universe=universe,
+            anchor=anchor,
         )
 
     # ------------------------------------------------------------------

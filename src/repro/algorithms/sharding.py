@@ -652,6 +652,44 @@ class ShardedDynamicContext:
         self._owner = np.full(self.dyn.capacity, -1, dtype=np.int64)
         self._owner[: self.layout.m] = self.layout.owner
 
+    @classmethod
+    def from_layout(
+        cls,
+        layout: ShardLayout,
+        dyn,
+        owner: np.ndarray | None = None,
+    ) -> "ShardedDynamicContext":
+        """Wrap an existing dynamic context with a prebuilt layout.
+
+        The checkpoint-restore path: the context was rebuilt slot for
+        slot from an archive (so its active set need not match the
+        layout's initial population any more), the layout came from its
+        sidecar, and ``owner`` is the persisted per-slot routing table.
+        Without ``owner`` the table is re-derived from the receivers'
+        cells — exactly how live churn maintains it, so the two agree
+        whenever both are available.
+        """
+        self = cls.__new__(cls)
+        self.sharded = None
+        self.layout = layout
+        self.dyn = dyn
+        self._owner = np.full(dyn.capacity, -1, dtype=np.int64)
+        if owner is not None:
+            owner = np.asarray(owner, dtype=np.int64)
+            if owner.size > dyn.capacity:
+                raise LinkError(
+                    f"persisted owner table covers {owner.size} slots, "
+                    f"the context only holds {dyn.capacity}"
+                )
+            self._owner[: owner.size] = owner
+        else:
+            act = dyn.active_slots
+            if act.size:
+                geo = dyn.space.geometry
+                pts = geo.points[dyn.receivers[act]]
+                self._owner[act] = layout.partition.shard_of_points(pts)
+        return self
+
     # -- ownership ------------------------------------------------------
     def owner_of(self, slots: Sequence[int] | np.ndarray) -> np.ndarray:
         """Shard id of each context slot (-1: never occupied)."""
@@ -800,11 +838,19 @@ class ShardedRepairScheduler:
         admission: str = "adaptive",
         compaction_every: int | None = None,
         max_workers: int | None = None,
+        anchor: bool = True,
     ) -> None:
         if kind not in ("first_fit", "capacity"):
             raise LinkError(
                 f"unknown repair kind {kind!r}; "
                 "expected 'first_fit' or 'capacity'"
+            )
+        if compaction_every is not None and kind != "capacity":
+            # Silently dropping the option would let a caller believe
+            # the first-fit shards compact when nothing ever merges.
+            raise LinkError(
+                "compaction_every only applies to kind='capacity'; "
+                "first-fit shard repairers never compact"
             )
         self.sdyn = sdyn
         self.dyn = sdyn.dyn
@@ -835,6 +881,7 @@ class ShardedRepairScheduler:
                     max_slots=max_slots,
                     max_evictions=max_evictions,
                     universe=universe,
+                    anchor=anchor,
                 )
             return OnlineRepairScheduler(
                 self.dyn,
@@ -843,6 +890,7 @@ class ShardedRepairScheduler:
                 max_slots=max_slots,
                 max_evictions=max_evictions,
                 universe=universe,
+                anchor=anchor,
             )
 
         built = _fanout(_make, list(range(layout.n_shards)), self.max_workers)
@@ -852,7 +900,86 @@ class ShardedRepairScheduler:
         #: alignment depth — so recording it per event stays O(shards)
         #: instead of forcing a full merge certification each time; the
         #: certified count is :attr:`slot_count`.
-        self.slot_trajectory: list[int] = [self.aligned_slot_count]
+        self.slot_trajectory: list[int] = (
+            [self.aligned_slot_count] if anchor else []
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (the repro.io scheduler-state format's payload)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Coordinator + per-shard repairer state as flat arrays.
+
+        Each shard repairer's :meth:`~repro.algorithms.repair
+        .OnlineRepairScheduler.export_state` payload is namespaced under
+        ``s{k}_``; the coordinator adds its routing table (``_home`` —
+        which repairer's universe holds each context slot, the thing
+        universe migration keeps in sync), the event counter, the
+        cumulative merge-displacement count and the aligned-slot
+        trajectory.
+        """
+        state: dict[str, np.ndarray] = {
+            "shard_count": np.array(
+                [len(self.repairers)], dtype=np.int64
+            ),
+            "shard_kind": np.array([self.kind], dtype=np.str_),
+            "shard_events": np.array([self._events], dtype=np.int64),
+            "shard_home": self._home.copy(),
+            "shard_displaced": np.array(
+                [self.merge_displaced], dtype=np.int64
+            ),
+            "shard_trajectory": np.array(
+                self.slot_trajectory, dtype=np.int64
+            ),
+        }
+        for k, rep in enumerate(self.repairers):
+            for key, val in rep.export_state().items():
+                state[f"s{k}_{key}"] = val
+        return state
+
+    def restore_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install a coordinator state exported by :meth:`export_state`.
+
+        The shard repairers must have been constructed over the same
+        layout (``anchor=False`` skips their throwaway initial anchors);
+        a checkpoint written with a different shard count or repair kind
+        fails loudly.
+        """
+        count = int(np.asarray(state["shard_count"])[0])
+        if count != len(self.repairers):
+            raise LinkError(
+                f"checkpoint holds {count} shard repairers, this "
+                f"coordinator runs {len(self.repairers)}"
+            )
+        kind = str(np.asarray(state["shard_kind"])[0])
+        if kind != self.kind:
+            raise LinkError(
+                f"checkpoint holds a {kind!r} sharded scheduler state; "
+                f"this coordinator is {self.kind!r}"
+            )
+        home = np.asarray(state["shard_home"], dtype=np.int64)
+        if home.size > self.dyn.capacity:
+            raise LinkError(
+                f"checkpointed routing table covers {home.size} slots, "
+                f"the context only holds {self.dyn.capacity}"
+            )
+        for k, rep in enumerate(self.repairers):
+            prefix = f"s{k}_"
+            rep.restore_state(
+                {
+                    key[len(prefix):]: val
+                    for key, val in state.items()
+                    if key.startswith(prefix)
+                }
+            )
+        self._home = np.full(self.dyn.capacity, -1, dtype=np.int64)
+        self._home[: home.size] = home
+        self._events = int(np.asarray(state["shard_events"])[0])
+        self.merge_displaced = int(np.asarray(state["shard_displaced"])[0])
+        self.slot_trajectory = [
+            int(v) for v in state["shard_trajectory"]
+        ]
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Event application
@@ -972,6 +1099,19 @@ class ShardedRepairScheduler:
         for rep in self.repairers:
             out.extend(rep.deferred)
         return tuple(sorted(out))
+
+    def slot_of(self, s: int) -> int | None:
+        """Schedule slot of a context slot in its owning shard's schedule.
+
+        The per-link query interface the serial repairers expose, routed
+        through the home table; ``None`` for a slot no shard schedules
+        (free, deferred, or never owned).  The answer is the shard-local
+        aligned index — the same index the merged schedule places the
+        link at unless certification displaced it.
+        """
+        s = int(s)
+        k = int(self._home[s]) if s < self._home.size else -1
+        return self.repairers[k].slot_of(s) if k >= 0 else None
 
     @property
     def stats(self) -> RepairStats:

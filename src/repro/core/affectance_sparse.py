@@ -174,7 +174,12 @@ class _SparseView:
 
         Within the dense-block budget the member rows are materialized and
         reduced by the same ``sum(axis=0)`` as the dense path (bit-equal on
-        complete patterns); beyond it, sequential scatter adds.
+        complete patterns); beyond it, sequential scatter adds — realized
+        as one ``np.bincount`` over the concatenated member rows, whose C
+        loop accumulates entries in input (member) order.  Each output
+        element receives its contributions in exactly the per-member
+        scatter order, so the floats match the historical row-at-a-time
+        loop bit for bit.
         """
         members = np.asarray(members, dtype=int)
         n = self.n
@@ -186,10 +191,18 @@ class _SparseView:
                 idx, val = self.row(int(r))
                 dense[i, idx] = val
             return dense.sum(axis=0)
-        out = np.zeros(n)
-        for r in members:
-            self.add_row_to(out, int(r))
-        return out
+        parts_i: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        for r in members.tolist():
+            idx, val = self.row(r)
+            if idx.size:
+                parts_i.append(idx)
+                parts_v.append(val)
+        if not parts_i:
+            return np.zeros(n)
+        cat_i = np.concatenate(parts_i)
+        cat_v = np.concatenate(parts_v)
+        return np.bincount(cat_i, weights=cat_v, minlength=n)
 
     def cols_sum(self, members: Sequence[int] | np.ndarray) -> np.ndarray:
         """``a[:, members].sum(axis=1)`` over the full height.
@@ -208,10 +221,21 @@ class _SparseView:
                 idx, val = self.col(int(c))
                 dense[idx, j] = val
             return dense.sum(axis=1)
-        out = np.zeros(n)
-        for c in members:
-            self.add_col_to(out, int(c))
-        return out
+        # Beyond the block budget: same bincount realization of the
+        # sequential scatter as :meth:`rows_sum` (member-order adds per
+        # output element; bit-equal to the column-at-a-time loop).
+        parts_i: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        for c in members.tolist():
+            idx, val = self.col(c)
+            if idx.size:
+                parts_i.append(idx)
+                parts_v.append(val)
+        if not parts_i:
+            return np.zeros(n)
+        cat_i = np.concatenate(parts_i)
+        cat_v = np.concatenate(parts_v)
+        return np.bincount(cat_i, weights=cat_v, minlength=n)
 
     def sum_axis0(self) -> np.ndarray:
         """``a.sum(axis=0)`` (every link's in-affectance over all rows)."""

@@ -282,6 +282,21 @@ def run_queue_simulation(
             "shards= requires scheduler='repair' or 'capacity_repair': "
             "the rebuild baselines and policy mode are single-context"
         )
+    if shards is not None and not isinstance(shards, ShardedContext):
+        # Validate the count before any backend/context checks, so the
+        # caller sees the actual mistake rather than a downstream
+        # complaint about the context it would have been applied to.
+        if int(shards) < 1:
+            raise SimulationError(
+                f"shards must be >= 1 (or a prebuilt ShardedContext), "
+                f"got {shards}; omit shards= for the unsharded scheduler"
+            )
+    if scheduler == "policy" and cascade != 1:
+        raise SimulationError(
+            "cascade= only applies to the scheduler-maintained modes "
+            "(scheduler='repair'/'rebuild'/'capacity_*'); "
+            "scheduler='policy' would silently ignore it"
+        )
     if scheduler != "policy" and policy is not lqf_policy:
         raise SimulationError(
             f"a custom policy cannot be combined with scheduler="

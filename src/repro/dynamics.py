@@ -160,6 +160,33 @@ class ChurnDriver:
         """Whether every event has been applied."""
         return self._pos >= len(self.events)
 
+    @property
+    def next_id(self) -> int:
+        """The id the next arrival will be assigned (birth order)."""
+        return self._next_id
+
+    def slot_of(self, link_id: int) -> int | None:
+        """Context slot of a live link id (``None``: departed/unknown)."""
+        return self._id_to_slot.get(int(link_id))
+
+    def ids_of(self, slots) -> list[int]:
+        """Live link ids occupying the given context slots, per slot.
+
+        The inverse lookup consumers need to report schedules in the
+        stable id vocabulary; raises for a slot no live id maps to
+        (the caller is holding a stale slot list).
+        """
+        inverse = {s: i for i, s in self._id_to_slot.items()}
+        out = []
+        for s in slots:
+            s = int(s)
+            if s not in inverse:
+                raise SimulationError(
+                    f"context slot {s} holds no live link id"
+                )
+            out.append(inverse[s])
+        return out
+
     def step(self, t: int) -> tuple[list[int], list[int]]:
         """Apply every event scheduled at or before slot ``t``.
 
@@ -189,6 +216,83 @@ class ChurnDriver:
         """Apply exactly the next pending event; ``(departed, arrived)``."""
         ev = self.events[self._pos]
         self._pos += 1
+        return self._apply_event(ev)
+
+    def feed(self, event: ChurnEvent) -> tuple[list[int], list[int]]:
+        """Apply one *live* event outside the replayed trace.
+
+        The streaming entry point the scheduler service daemon ingests
+        from: the event is applied immediately — departures first, then
+        arrivals, exactly like a replayed event — and the driver's
+        id -> slot mapping advances, so live events and trace replay
+        share one id vocabulary.  Returns ``(departed_slots,
+        arrived_slots)``.  The event's ``slot`` field is ignored (a
+        stream has no lookahead to order against).
+        """
+        return self._apply_event(event)
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """The id -> slot mapping and trace cursor as flat arrays.
+
+        The checkpoint payload a resumed driver needs: live ids with
+        their context slots (sorted by id for a canonical layout), the
+        next id to assign, and how far into the bound trace the replay
+        had progressed.
+        """
+        ids = np.array(sorted(self._id_to_slot), dtype=np.int64)
+        slots = np.array(
+            [self._id_to_slot[int(i)] for i in ids], dtype=np.int64
+        )
+        return {
+            "driver_ids": ids,
+            "driver_slots": slots,
+            "driver_cursor": np.array(
+                [self._next_id, self._pos], dtype=np.int64
+            ),
+        }
+
+    def restore_state(self, state: dict[str, np.ndarray]) -> None:
+        """Install a mapping exported by :meth:`export_state`.
+
+        The mapping is cross-checked against the context: every stored
+        slot must be active and every active slot must carry exactly one
+        live id, so a checkpoint restored against the wrong context (or
+        a tampered archive) fails loudly instead of silently misrouting
+        every later departure.
+        """
+        ids = np.asarray(state["driver_ids"], dtype=np.int64)
+        slots = np.asarray(state["driver_slots"], dtype=np.int64)
+        if ids.shape != slots.shape:
+            raise SimulationError(
+                "driver checkpoint id/slot arrays disagree in shape"
+            )
+        active = self.dyn.active_slots
+        if ids.size != active.size or (
+            ids.size and not np.array_equal(np.sort(slots), active)
+        ):
+            raise SimulationError(
+                "driver checkpoint does not cover exactly the context's "
+                "active slots — the checkpoint does not match this "
+                "context's churn state"
+            )
+        next_id, pos = (int(x) for x in state["driver_cursor"])
+        if ids.size and next_id <= int(ids.max()):
+            raise SimulationError(
+                "driver checkpoint next_id is not past its live ids"
+            )
+        if not 0 <= pos <= len(self.events):
+            raise SimulationError(
+                f"driver checkpoint trace cursor {pos} outside the "
+                f"bound trace of {len(self.events)} events"
+            )
+        self._id_to_slot = {
+            int(i): int(s) for i, s in zip(ids, slots)
+        }
+        self._next_id = next_id
+        self._pos = pos
+
+    def _apply_event(self, ev: ChurnEvent) -> tuple[list[int], list[int]]:
+        """Apply one event to the context; ``(departed, arrived)``."""
         gone: list[int] = []
         for link_id in ev.departures:
             slot = self._id_to_slot.pop(int(link_id), None)

@@ -34,6 +34,13 @@ from repro.errors import GeometryError
 
 __all__ = ["CellIndex", "CellPartition"]
 
+# Query sets with at most this many stacked cell probes (points x 3^dim
+# neighbour offsets) take the batched single-pass path in
+# :meth:`CellIndex.query`; larger sets keep the per-offset loop so the
+# ragged candidate expansion never holds more than one offset's worth of
+# indices at a time (the bulk-build memory bound).
+_SMALL_QUERY_LIMIT = 1 << 12
+
 
 class CellPartition:
     """A grouping of a :class:`CellIndex`'s occupied cells into shards.
@@ -239,42 +246,72 @@ class CellIndex:
             np.meshgrid(*([np.array([-1, 0, 1])] * self.dim), indexing="ij"),
             axis=-1,
         ).reshape(-1, self.dim)
-        for off in offsets:
-            nb = qcoords + off[None, :]
+
+        def _filter(rr: np.ndarray, pp: np.ndarray) -> None:
+            if planar:
+                dx = qx[rr] - px[pp]
+                dx *= dx
+                dy = qy[rr] - py[pp]
+                dy *= dy
+                dx += dy
+                dist = np.sqrt(dx)
+            else:
+                diff = q[rr] - self.points[pp]
+                dist = np.sqrt((diff**2).sum(axis=-1))
+            keep = dist <= radius
+            q_parts.append(rr[keep])
+            p_parts.append(pp[keep])
+            d_parts.append(dist[keep])
+
+        k = q.shape[0]
+        if k * offsets.shape[0] <= _SMALL_QUERY_LIMIT:
+            # Small query sets (the churn hot path: one or two points per
+            # event): probe all 3^dim neighbour cells in ONE pass.  The
+            # stacked neighbour list enumerates offset-major, query-minor
+            # — `np.flatnonzero` walks hits in exactly the order the
+            # per-offset loop below concatenates them, so the returned
+            # pairs (and their float distances) are identical.
+            nb = (qcoords[None, :, :] + offsets[:, None, :]).reshape(
+                -1, self.dim
+            )
             keys = self._keys_of(nb)
             pos = np.searchsorted(self._uniq_keys, keys)
             pos_c = np.minimum(pos, self._uniq_keys.size - 1)
             hit = self._uniq_keys[pos_c] == keys
-            if not hit.any():
-                continue
-            qi = np.flatnonzero(hit)
-            cell = pos_c[qi]
-            sizes = self._sizes[cell]
-            starts = self._starts[cell]
-            # Ragged expansion: repeat each query for every point in the
-            # matched cell, then index into the sorted-point order.
-            reps = np.repeat(qi, sizes)
-            within = np.arange(sizes.sum()) - np.repeat(
-                np.cumsum(sizes) - sizes, sizes
-            )
-            pts_idx = self._order[np.repeat(starts, sizes) + within]
-            for lo in range(0, reps.size, chunk):
-                rr = reps[lo : lo + chunk]
-                pp = pts_idx[lo : lo + chunk]
-                if planar:
-                    dx = qx[rr] - px[pp]
-                    dx *= dx
-                    dy = qy[rr] - py[pp]
-                    dy *= dy
-                    dx += dy
-                    dist = np.sqrt(dx)
-                else:
-                    diff = q[rr] - self.points[pp]
-                    dist = np.sqrt((diff**2).sum(axis=-1))
-                keep = dist <= radius
-                q_parts.append(rr[keep])
-                p_parts.append(pp[keep])
-                d_parts.append(dist[keep])
+            if hit.any():
+                qi = np.flatnonzero(hit)
+                cell = pos_c[qi]
+                sizes = self._sizes[cell]
+                starts = self._starts[cell]
+                reps = np.repeat(qi % k, sizes)
+                within = np.arange(sizes.sum()) - np.repeat(
+                    np.cumsum(sizes) - sizes, sizes
+                )
+                pts_idx = self._order[np.repeat(starts, sizes) + within]
+                for lo in range(0, reps.size, chunk):
+                    _filter(reps[lo : lo + chunk], pts_idx[lo : lo + chunk])
+        else:
+            for off in offsets:
+                nb = qcoords + off[None, :]
+                keys = self._keys_of(nb)
+                pos = np.searchsorted(self._uniq_keys, keys)
+                pos_c = np.minimum(pos, self._uniq_keys.size - 1)
+                hit = self._uniq_keys[pos_c] == keys
+                if not hit.any():
+                    continue
+                qi = np.flatnonzero(hit)
+                cell = pos_c[qi]
+                sizes = self._sizes[cell]
+                starts = self._starts[cell]
+                # Ragged expansion: repeat each query for every point in
+                # the matched cell, then index into the sorted-point order.
+                reps = np.repeat(qi, sizes)
+                within = np.arange(sizes.sum()) - np.repeat(
+                    np.cumsum(sizes) - sizes, sizes
+                )
+                pts_idx = self._order[np.repeat(starts, sizes) + within]
+                for lo in range(0, reps.size, chunk):
+                    _filter(reps[lo : lo + chunk], pts_idx[lo : lo + chunk])
         if not q_parts:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), np.empty(0, dtype=float)

@@ -27,6 +27,7 @@ from repro.core.links import LinkSet
 from repro.errors import ReproError
 
 __all__ = [
+    "archive_format_version",
     "save_space",
     "load_space",
     "save_links",
@@ -35,12 +36,16 @@ __all__ = [
     "load_sparse_affectance",
     "save_shard_layout",
     "load_shard_layout",
+    "save_scheduler_state",
+    "load_scheduler_state",
 ]
 
 #: Version 2 added the optional geometry arrays on space/link archives and
-#: the sparse-affectance archive kind.  Version-1 archives load unchanged
-#: (they simply carry no geometry).
-_FORMAT_VERSION = 2
+#: the sparse-affectance archive kind.  Version 3 added the
+#: scheduler-state archive kind and the sidecar version cross-check
+#: (``expect_version=`` on the sidecar loaders).  Older archives load
+#: unchanged — the layouts are strict supersets.
+_FORMAT_VERSION = 3
 
 
 def _npz_path(path: str | pathlib.Path) -> pathlib.Path:
@@ -81,14 +86,20 @@ def _write_archive(
 
 
 def _checked_labels(
-    archive, path: str | pathlib.Path, required: tuple[str, ...], kind: str
+    archive,
+    path: str | pathlib.Path,
+    required: tuple[str, ...],
+    kind: str,
+    expect_version: int | None = None,
 ) -> list[str] | None:
     """The shared loader preamble: key check, version check, label decode.
 
     Raises :class:`ReproError` when the archive is missing the ``kind``'s
     required arrays or was written by a newer format than this build
     supports — a future layout silently misread would corrupt downstream
-    results without a trace.
+    results without a trace.  ``expect_version`` additionally pins the
+    exact version a *sidecar* archive must carry (the main archive's),
+    so a mixed-version pair is rejected instead of loaded.
     """
     for key in required:
         if key not in archive:
@@ -103,7 +114,27 @@ def _checked_labels(
             f"{path}: format version {version} is newer than supported "
             f"({_FORMAT_VERSION})"
         )
+    if expect_version is not None and version != int(expect_version):
+        raise ReproError(
+            f"{path}: sidecar format version {version} disagrees with "
+            f"the main archive's {int(expect_version)} — refusing to "
+            "load a mixed-version archive pair"
+        )
     return [str(x) for x in archive["labels"]] if "labels" in archive else None
+
+
+def archive_format_version(path: str | pathlib.Path) -> int:
+    """The ``format_version`` stamped on an ``.npz`` archive.
+
+    The hook sidecar consumers use to pin their companions: read the
+    main archive's version, then pass it as ``expect_version=`` to the
+    sidecar loaders.  Raises :class:`ReproError` for an archive with no
+    version stamp (not one of ours).
+    """
+    with np.load(_load_path(path), allow_pickle=False) as archive:
+        if "format_version" not in archive:
+            raise ReproError(f"{path}: archive carries no format_version")
+        return int(archive["format_version"][0])
 
 
 def _geometry_payload(payload: dict[str, np.ndarray], space: DecaySpace) -> None:
@@ -192,12 +223,17 @@ def save_sparse_affectance(
     _write_archive(path, payload, None)
 
 
-def load_sparse_affectance(path: str | pathlib.Path) -> SparseAffectance:
+def load_sparse_affectance(
+    path: str | pathlib.Path, *, expect_version: int | None = None
+) -> SparseAffectance:
     """Read a pattern written by :func:`save_sparse_affectance`.
 
     The constructor re-sorts the triplets into CSR/CSC and re-checks
     the shape invariants, so a tampered or truncated archive fails
-    loudly instead of yielding a silently inconsistent pattern.
+    loudly instead of yielding a silently inconsistent pattern.  When
+    the pattern rides as a sidecar next to a main archive, pass that
+    archive's version (:func:`archive_format_version`) as
+    ``expect_version`` — a mismatched pair is rejected.
     """
     required = (
         "sparse_rows",
@@ -209,7 +245,9 @@ def load_sparse_affectance(path: str | pathlib.Path) -> SparseAffectance:
         "tail_out",
     )
     with np.load(_load_path(path), allow_pickle=False) as archive:
-        _checked_labels(archive, path, required, "sparse-affectance")
+        _checked_labels(
+            archive, path, required, "sparse-affectance", expect_version
+        )
         eps, radius, cell_size = archive["sparse_params"]
         return SparseAffectance(
             int(archive["sparse_m"][0]),
@@ -264,7 +302,9 @@ def save_shard_layout(path: str | pathlib.Path, layout) -> None:
     _write_archive(path, payload, None)
 
 
-def load_shard_layout(path: str | pathlib.Path):
+def load_shard_layout(
+    path: str | pathlib.Path, *, expect_version: int | None = None
+):
     """Read a layout written by :func:`save_shard_layout` (re-validated).
 
     Every stored certificate is cross-checked on load and a mismatch
@@ -274,7 +314,10 @@ def load_shard_layout(path: str | pathlib.Path):
     shard ids must form the contiguous runs the predecessor rule
     requires, the stored shard count must match the partition, and the
     owner/interior arrays must agree.  A tampered archive fails loudly
-    instead of silently desynchronising the repair routing.
+    instead of silently desynchronising the repair routing.  A layout
+    always rides as a sidecar; pass the main archive's version
+    (:func:`archive_format_version`) as ``expect_version`` to reject a
+    mixed-version pair.
     """
     from repro.algorithms.sharding import ShardLayout
     from repro.errors import GeometryError, LinkError
@@ -293,7 +336,7 @@ def load_shard_layout(path: str | pathlib.Path):
         "shard_halo",
     )
     with np.load(_load_path(path), allow_pickle=False) as archive:
-        _checked_labels(archive, path, required, "shard-layout")
+        _checked_labels(archive, path, required, "shard-layout", expect_version)
         cell_size, radius, target = archive["shard_params"]
         if not np.isclose(float(cell_size), float(radius)):
             raise LinkError(
@@ -362,3 +405,61 @@ def load_shard_layout(path: str | pathlib.Path):
             interior=tuple(interior),
             halo=tuple(halo),
         )
+
+
+#: Keys the scheduler-state framing reserves for itself; an exported
+#: state payload may not shadow them.
+_STATE_RESERVED = frozenset({"format_version", "labels", "scheduler_kind"})
+
+
+def save_scheduler_state(
+    path: str | pathlib.Path, state: dict[str, np.ndarray], *, kind: str
+) -> None:
+    """Write a live scheduler's exported state to an ``.npz`` archive.
+
+    ``state`` is the flat array mapping produced by the ``export_state``
+    hooks (repairer and/or driver payloads merged by the caller);
+    ``kind`` tags what produced it (e.g. ``"first_fit"``,
+    ``"capacity"``, ``"sharded:capacity"``) so a restore into the wrong
+    scheduler shape fails before any array is interpreted.  The payload
+    keys are stored verbatim — the archive is a dumb envelope; all
+    semantic validation lives in the ``restore_state`` hooks.
+    """
+    clash = _STATE_RESERVED.intersection(state)
+    if clash:
+        raise ReproError(
+            f"scheduler state payload shadows reserved archive keys: "
+            f"{sorted(clash)}"
+        )
+    payload: dict[str, np.ndarray] = {
+        "scheduler_kind": np.array([kind], dtype=np.str_)
+    }
+    for key, value in state.items():
+        payload[key] = np.asarray(value)
+    _write_archive(path, payload, None)
+
+
+def load_scheduler_state(
+    path: str | pathlib.Path, *, expect_kind: str | None = None
+) -> tuple[str, dict[str, np.ndarray]]:
+    """Read an archive written by :func:`save_scheduler_state`.
+
+    Returns ``(kind, state)`` with the framing keys stripped; pass
+    ``expect_kind`` to reject a checkpoint taken from a different
+    scheduler shape up front.  The arrays are materialised before the
+    archive closes, so the mapping is safe to hold.
+    """
+    with np.load(_load_path(path), allow_pickle=False) as archive:
+        _checked_labels(archive, path, ("scheduler_kind",), "scheduler-state")
+        kind = str(archive["scheduler_kind"][0])
+        if expect_kind is not None and kind != expect_kind:
+            raise ReproError(
+                f"{path}: scheduler state was checkpointed from a "
+                f"{kind!r} scheduler, expected {expect_kind!r}"
+            )
+        state = {
+            key: np.array(archive[key])
+            for key in archive.files
+            if key not in _STATE_RESERVED
+        }
+        return kind, state

@@ -403,3 +403,85 @@ class TestRepairMechanics:
         rs.apply([], [0])
         assert rs.active_schedule is not first
         assert all(0 not in s for s in rs.active_schedule)
+
+    def test_deferred_retry_counts_one_episode(self):
+        """Regression: a deferred link retried and re-deferred on every
+        subsequent event used to bump ``stats.deferred`` once per retry,
+        so the counter measured event count, not deferral episodes."""
+        # The conflict instance plus two independent filler links
+        # L3 = (6, 7), L4 = (8, 9) that fit anywhere (cross decay 1000).
+        f = np.full((10, 10), 1000.0)
+        np.fill_diagonal(f, 0.0)
+        f[0, 1] = f[1, 0] = 1.0  # L0 = (0, 1)
+        f[2, 3] = f[3, 2] = 1.1  # L1 = (2, 3)
+        f[4, 5] = f[5, 4] = 1.0  # L2 = (4, 5), conflicts with L0+L1
+        f[6, 7] = f[7, 6] = 1.0  # L3: filler
+        f[8, 9] = f[9, 8] = 1.0  # L4: filler
+        f[0, 5] = f[5, 0] = 1.6  # a_L0(L2) = 0.625
+        f[2, 5] = f[5, 2] = 1.6  # a_L1(L2) = 0.625
+        dyn = DynamicContext(DecaySpace(f), [(0, 1), (2, 3)])
+        rs = OnlineRepairScheduler(dyn, cascade=0, max_slots=1)
+        slot = dyn.add_link(4, 5)
+        rs.apply([slot], [])
+        assert rs.deferred == (slot,)
+        assert rs.stats.deferred == 1
+        # Two more events that change nothing for the deferred link: the
+        # retry fails again each time but the episode already counted.
+        for pair in ((6, 7), (8, 9)):
+            extra = dyn.add_link(*pair)
+            rs.apply([extra], [])
+            assert rs.deferred == (slot,)
+            assert rs.stats.deferred == 1
+        # A departure makes room: the episode ends with the counter
+        # still reading one deferral.
+        dyn.remove_links([0])
+        rs.apply([], [0])
+        assert rs.deferred == ()
+        assert rs.stats.deferred == 1
+        assert rs.check()
+
+    def test_state_roundtrip_resumes_identically(self):
+        """export_state/restore_state: a scheduler restored mid-trace
+        continues with placements and counters identical to the
+        uninterrupted twin run."""
+        links = build_scenario("clustered", n_links=16, seed=4)
+        pairs = [(l.sender, l.receiver) for l in links]
+        # Run A: uninterrupted 15 + 10 events.
+        dyn_a, rs_a, _ = _churn_with_repair("clustered", 5, 15, cascade=1)
+        replay_random_churn(dyn_a, rs_a, pairs, 6, 10)
+        # Run B: identical first 15 events, checkpoint, restore into a
+        # fresh scheduler over the same context, continue.
+        dyn_b, rs_b, _ = _churn_with_repair("clustered", 5, 15, cascade=1)
+        twin = OnlineRepairScheduler(dyn_b, cascade=1, anchor=False)
+        twin.restore_state(rs_b.export_state())
+        assert twin.schedule.slots == rs_b.schedule.slots
+        assert twin.stats == rs_b.stats
+        replay_random_churn(dyn_b, twin, pairs, 6, 10)
+        assert twin.schedule.slots == rs_a.schedule.slots
+        assert twin.stats == rs_a.stats
+        assert twin.slot_trajectory == rs_a.slot_trajectory
+        assert twin.check()
+
+    def test_deferred_queue_survives_state_roundtrip(self):
+        """Regression companion: the deferred queue (and its retry
+        order) must ride through a checkpoint, or a restored ``max_slots``
+        daemon would silently drop links the live one still owed."""
+        dyn = _conflict_instance()
+        rs = OnlineRepairScheduler(dyn, cascade=0, max_slots=1)
+        slot = dyn.add_link(4, 5)
+        rs.apply([slot], [])
+        assert rs.deferred == (slot,)
+        twin = OnlineRepairScheduler(
+            dyn, cascade=0, max_slots=1, anchor=False
+        )
+        twin.restore_state(rs.export_state())
+        assert twin.deferred == (slot,)
+        assert twin.stats.deferred == 1
+        # The restored queue behaves live: a departure makes room and
+        # the deferred link is retried first, without re-counting.
+        dyn.remove_links([0])
+        twin.apply([], [0])
+        assert twin.deferred == ()
+        assert slot in twin.schedule.all_links()
+        assert twin.stats.deferred == 1
+        assert twin.check()

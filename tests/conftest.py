@@ -48,6 +48,10 @@ def pytest_configure(config):
         "markers",
         "shards: sharded scheduling/repair suites (select with -m shards)",
     )
+    config.addinivalue_line(
+        "markers",
+        "service: scheduler daemon / loadgen suites (select with -m service)",
+    )
 
 #: Example budget for the heavy churn-trace property suites (each
 #: example replays a whole churn trace with from-scratch cross-checks):

@@ -305,3 +305,19 @@ class TestRepairSchedulerMode:
             run_queue_simulation(
                 links, 0.2, 50, policy=random_policy, scheduler="repair"
             )
+
+    def test_cascade_with_policy_mode_rejected(self):
+        """Regression: cascade= used to be silently dropped in policy mode."""
+        links = make_planar_links(4, alpha=3.0, seed=42)
+        with pytest.raises(SimulationError, match="scheduler='policy'"):
+            run_queue_simulation(links, 0.2, 50, cascade=3)
+
+    def test_nonpositive_shard_count_rejected(self):
+        """Regression: shards=0 used to surface as a confusing complaint
+        about the backend of the context it would have been applied to."""
+        links = make_planar_links(4, alpha=3.0, seed=43)
+        for bad in (0, -2):
+            with pytest.raises(SimulationError, match="shards must be >= 1"):
+                run_queue_simulation(
+                    links, 0.2, 50, scheduler="repair", shards=bad
+                )

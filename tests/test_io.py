@@ -383,3 +383,114 @@ class TestShardLayoutRoundtrip:
         bad = self._tampered(tmp_path, mutate)
         with pytest.raises(ReproError, match="disagree with the stored"):
             load_shard_layout(bad)
+
+
+class TestSchedulerStateArchive:
+    """The dumb-envelope scheduler-state archive and the sidecar
+    version cross-check it introduced (format version 3)."""
+
+    def _state(self):
+        return {
+            "repair_slots": np.arange(5, dtype=np.int64),
+            "repair_ledger": np.linspace(0.0, 1.0, 5),
+        }
+
+    def test_roundtrip(self, tmp_path):
+        from repro.io import load_scheduler_state, save_scheduler_state
+
+        state = self._state()
+        save_scheduler_state(tmp_path / "st", state, kind="capacity")
+        kind, loaded = load_scheduler_state(tmp_path / "st")
+        assert kind == "capacity"
+        assert set(loaded) == set(state)
+        for key in state:
+            assert np.array_equal(loaded[key], state[key])
+
+    def test_wrong_kind_rejected_up_front(self, tmp_path):
+        from repro.io import load_scheduler_state, save_scheduler_state
+
+        save_scheduler_state(tmp_path / "st", self._state(), kind="first_fit")
+        with pytest.raises(ReproError, match="checkpointed from a"):
+            load_scheduler_state(tmp_path / "st", expect_kind="capacity")
+
+    def test_payload_may_not_shadow_framing_keys(self, tmp_path):
+        from repro.io import save_scheduler_state
+
+        bad = dict(self._state(), scheduler_kind=np.array(["x"]))
+        with pytest.raises(ReproError, match="reserved archive keys"):
+            save_scheduler_state(tmp_path / "st", bad, kind="first_fit")
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        from repro.io import load_scheduler_state
+
+        path = tmp_path / "other.npz"
+        np.savez(path, decay=random_decay_matrix(3, seed=1))
+        with pytest.raises(ReproError, match="not a scheduler-state"):
+            load_scheduler_state(path)
+
+
+class TestSidecarVersionCrossCheck:
+    """Regression: sidecar loaders used to accept any supported version,
+    so a main archive paired with a sidecar written by a different
+    build could load as a silently mixed-version pair."""
+
+    def test_archive_format_version_reads_stamp(self, tmp_path):
+        space = DecaySpace(random_decay_matrix(4, seed=3))
+        save_space(tmp_path / "space", space)
+        from repro.io import _FORMAT_VERSION, archive_format_version
+
+        assert archive_format_version(tmp_path / "space") == _FORMAT_VERSION
+
+    def test_archive_format_version_rejects_unstamped(self, tmp_path):
+        from repro.io import archive_format_version
+
+        path = tmp_path / "raw.npz"
+        np.savez(path, decay=random_decay_matrix(3, seed=1))
+        with pytest.raises(ReproError, match="no format_version"):
+            archive_format_version(path)
+
+    def _aged(self, tmp_path, save, name):
+        """Save a sidecar, rewrite its stamp to version 2, return path."""
+        save(tmp_path / name)
+        with np.load(tmp_path / f"{name}.npz") as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.array([2])
+        old = tmp_path / f"old_{name}.npz"
+        np.savez(old, **payload)
+        return old
+
+    def test_mixed_version_shard_layout_pair_rejected(self, tmp_path):
+        from repro.algorithms.context import SchedulingContext
+        from repro.algorithms.sharding import build_shard_layout
+        from repro.io import _FORMAT_VERSION
+
+        links = make_planar_links(48, alpha=3.0, seed=8)
+        ctx = SchedulingContext(
+            links, noise=0.0, beta=1.0, backend="sparse", eps=0.4
+        )
+        layout = build_shard_layout(ctx, shards=3)
+        old = self._aged(
+            tmp_path, lambda p: save_shard_layout(p, layout), "lay"
+        )
+        # Version 2 is still loadable on its own...
+        load_shard_layout(old)
+        # ...but not next to a version-3 main archive.
+        with pytest.raises(ReproError, match="mixed-version"):
+            load_shard_layout(old, expect_version=_FORMAT_VERSION)
+
+    def test_mixed_version_sparse_pattern_pair_rejected(self, tmp_path):
+        from repro.algorithms.context import SchedulingContext
+        from repro.io import _FORMAT_VERSION
+
+        links = make_planar_links(20, alpha=3.0, seed=8)
+        ctx = SchedulingContext(
+            links, noise=0.0, beta=1.0, backend="sparse", eps=1e-2
+        )
+        old = self._aged(
+            tmp_path,
+            lambda p: save_sparse_affectance(p, ctx.sparse_affectance),
+            "sa",
+        )
+        load_sparse_affectance(old)
+        with pytest.raises(ReproError, match="mixed-version"):
+            load_sparse_affectance(old, expect_version=_FORMAT_VERSION)
